@@ -1,0 +1,106 @@
+// Command redsim runs one (workload, architecture) pair on the scaled
+// evaluation configuration and prints a full statistics report.
+//
+// Usage:
+//
+//	redsim -workload LU -arch RedCache [-scale default] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"redcache/internal/config"
+	"redcache/internal/hbm"
+	"redcache/internal/sim"
+	"redcache/internal/stats"
+	"redcache/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "LU", "workload label (see redtrace -list)")
+		arch     = flag.String("arch", "RedCache", "architecture: NoHBM, Ideal, Alloy, Bear, Red-Alpha, Red-Gamma, Red-Basic, Red-InSitu, RedCache")
+		scale    = flag.String("scale", "default", "problem size: tiny, small or default")
+		seed     = flag.Int64("seed", 1, "workload PRNG seed")
+		cores    = flag.Int("cores", 0, "override core count (0 = config default)")
+	)
+	flag.Parse()
+
+	cfg := config.Default()
+	if *cores > 0 {
+		cfg.CPU.Cores = *cores
+	}
+	spec, err := workloads.ByLabel(*workload)
+	fatalIf(err)
+	var sc workloads.Scale
+	switch *scale {
+	case "tiny":
+		sc = workloads.Tiny
+	case "small":
+		sc = workloads.Small
+	case "default":
+		sc = workloads.Default
+	default:
+		fatalIf(fmt.Errorf("unknown scale %q", *scale))
+	}
+
+	tr := spec.Gen(cfg.CPU.Cores, sc, *seed)
+	start := time.Now()
+	res, err := sim.Run(cfg, hbm.Arch(*arch), tr, nil)
+	fatalIf(err)
+	wall := time.Since(start)
+
+	fmt.Printf("== %s on %s (%s scale, %d cores, %d records) ==\n",
+		spec.Label, res.Arch, sc, cfg.CPU.Cores, tr.Records())
+	fmt.Printf("execution time:  %d cycles (%.3f ms simulated, %.2fs wall)\n",
+		res.Cycles, 1e3*res.Seconds(cfg), wall.Seconds())
+	fmt.Printf("IPC:             %.2f\n", res.IPC())
+	fmt.Printf("L3:              %.1f%% hit (%d accesses)\n",
+		100*res.L3.HitRate(), res.L3.Accesses())
+	fmt.Printf("controller:      %d reads, %d writes\n", res.Ctl.Reads, res.Ctl.Writes)
+	fmt.Printf("HBM demand:      %.1f%% hit (%d accesses)\n",
+		100*res.Ctl.Demand.HitRate(), res.Ctl.Demand.Accesses())
+	fmt.Printf("fills=%d fillBypass=%d victimWB=%d directToMem=%d refreshByp=%d\n",
+		res.Ctl.Fills, res.Ctl.FillBypass, res.Ctl.VictimWB,
+		res.Ctl.DirectToMem, res.Ctl.RefreshByp)
+	if res.Ctl.Alpha.Bypassed+res.Ctl.Alpha.Admissions > 0 {
+		a := res.Ctl.Alpha
+		fmt.Printf("alpha:           bypassed=%d admissions=%d bufHit=%.1f%% final α=%d\n",
+			a.Bypassed, a.Admissions,
+			100*float64(a.BufferHits)/float64(a.BufferHits+a.BufferMiss), a.FinalAlpha)
+	}
+	if g := res.Ctl.Gamma; g.RCountUpdates+g.Invalidations > 0 {
+		fmt.Printf("gamma:           invalidations=%d rcountUpdates=%d final γ=%d\n",
+			g.Invalidations, g.RCountUpdates, g.FinalGamma)
+	}
+	if r := res.Ctl.RCU; r.Enqueued > 0 {
+		fmt.Printf("RCU:             enq=%d piggyback=%d idle=%d dropped=%d merged=%d blockHits=%d free=%s\n",
+			r.Enqueued, r.Piggyback, r.IdleFlush, r.Dropped, r.Merged, r.BlockHits,
+			stats.Fmt(r.FreeShare()))
+	}
+	printIface(&res.HBMIface, res.Cycles)
+	printIface(&res.DDRIface, res.Cycles)
+	fmt.Printf("last-access-is-write share: %s (paper §II-C reports >82%%)\n",
+		stats.Fmt(res.Ctl.LastWriteShare()))
+	fmt.Printf("energy: HBM cache %.4f J, system %.4f J\n",
+		res.Energy.HBMCache(), res.Energy.System())
+}
+
+func printIface(i *stats.Interface, cycles int64) {
+	if i.Requests == 0 {
+		return
+	}
+	fmt.Printf("%-8s %8.1f MB moved, %4.1f%% bus busy, row hit %4.1f%%, %d activates, %d refreshes\n",
+		i.Name, float64(i.TotalBytes())/(1<<20), 100*i.BandwidthUtil(cycles),
+		100*i.RowHitRate(), i.Activates, i.Refreshes)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "redsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+// Command redtrace generates and inspects workload memory traces.
+//
+// Usage:
+//
+//	redtrace -list
+//	redtrace -workload LU [-scale default] [-cores 16] [-seed 1] [-out lu.trc]
+//	redtrace -inspect lu.trc
+//
+// Without -out, the tool prints a summary: record count, footprint,
+// write share, and a reuse-count histogram sketch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"redcache/internal/trace"
+	"redcache/internal/workloads"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available workloads")
+		workload = flag.String("workload", "", "workload label (e.g. LU)")
+		scale    = flag.String("scale", "default", "problem size: tiny, small or default")
+		cores    = flag.Int("cores", 16, "number of cores / trace streams")
+		seed     = flag.Int64("seed", 1, "workload PRNG seed")
+		out      = flag.String("out", "", "write the binary trace to this file")
+		inspect  = flag.String("inspect", "", "summarize an existing trace file")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "LABEL\tBENCHMARK\tSUITE\tPAPER INPUT")
+		for _, s := range workloads.Catalog() {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", s.Label, s.Name, s.Suite, s.Input)
+		}
+		w.Flush()
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		fatalIf(err)
+		defer f.Close()
+		tr, err := trace.Decode(f)
+		fatalIf(err)
+		summarize(tr)
+	case *workload != "":
+		spec, err := workloads.ByLabel(*workload)
+		fatalIf(err)
+		sc, err := parseScale(*scale)
+		fatalIf(err)
+		tr := spec.Gen(*cores, sc, *seed)
+		if *out != "" {
+			f, err := os.Create(*out)
+			fatalIf(err)
+			fatalIf(trace.Encode(f, tr))
+			fatalIf(f.Close())
+			fmt.Printf("wrote %s\n", *out)
+		}
+		summarize(tr)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseScale(s string) (workloads.Scale, error) {
+	switch s {
+	case "tiny":
+		return workloads.Tiny, nil
+	case "small":
+		return workloads.Small, nil
+	case "default":
+		return workloads.Default, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (want tiny, small or default)", s)
+}
+
+func summarize(tr *trace.Trace) {
+	fmt.Printf("workload:   %s\n", tr.Name)
+	fmt.Printf("streams:    %d\n", tr.Cores())
+	fmt.Printf("records:    %d\n", tr.Records())
+	fmt.Printf("footprint:  %.2f MB (%d blocks)\n",
+		float64(tr.FootprintBytes())/(1<<20), tr.Footprint())
+	fmt.Printf("write share: %.1f%%\n", 100*tr.WriteShare())
+
+	reuse := tr.ReuseCounts()
+	hist := map[int]int{}
+	for _, n := range reuse {
+		hist[bucket(n)]++
+	}
+	var keys []int
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Println("reuse histogram (accesses per block -> #blocks):")
+	for _, k := range keys {
+		fmt.Printf("  %4d+: %d\n", k, hist[k])
+	}
+}
+
+func bucket(n int) int {
+	b := 1
+	for b*2 <= n {
+		b *= 2
+	}
+	return b
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "redtrace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module redcache
+
+go 1.22

@@ -1,0 +1,260 @@
+// Package cpu models the multicore front end: trace-driven cores with a
+// bounded window of outstanding demand loads (the ROB/MLP abstraction of
+// the paper's 16-core, 4-issue, 256-entry-ROB CPU) and a posted store
+// buffer.  Cores feed L3 misses and writebacks to a memory subsystem
+// implementing Submitter.
+package cpu
+
+import (
+	"redcache/internal/cache"
+	"redcache/internal/config"
+	"redcache/internal/engine"
+	"redcache/internal/mem"
+	"redcache/internal/trace"
+)
+
+// Submitter is the memory subsystem below the L3 (a DRAM-cache
+// controller from internal/hbm).
+type Submitter interface {
+	Submit(req *mem.Request)
+}
+
+type slot struct {
+	done  int64
+	ready bool
+}
+
+// Core executes one trace stream.
+type Core struct {
+	id     int
+	eng    *engine.Engine
+	hier   *cache.Hierarchy
+	memsys Submitter
+	stream trace.Stream
+	width  int64
+	maxOut int
+	stCap  int
+
+	cursor    int
+	window    []*slot // outstanding loads, oldest first
+	stores    []*slot // posted stores awaiting completion
+	scheduled bool
+	stalled   bool
+
+	// FinishedAt is the cycle the core retired its last operation, or -1
+	// while running.
+	FinishedAt int64
+	// Instructions counts retired instructions (gaps + memory ops).
+	Instructions int64
+	// LoadStallCycles approximates cycles lost to a full load window.
+	LoadStallCycles int64
+
+	onFinish  func()
+	lastStall int64
+}
+
+// NewCore builds a core over the shared hierarchy and memory subsystem.
+func NewCore(id int, eng *engine.Engine, hier *cache.Hierarchy, ms Submitter,
+	s trace.Stream, cfg config.CPU, onFinish func()) *Core {
+	c := &Core{
+		id: id, eng: eng, hier: hier, memsys: ms, stream: s,
+		width:      int64(cfg.IssueWidth),
+		maxOut:     cfg.MaxOutstanding,
+		stCap:      cfg.StoreBufferSize,
+		FinishedAt: -1,
+		onFinish:   onFinish,
+		lastStall:  -1,
+	}
+	return c
+}
+
+// Start schedules the core's first step.
+func (c *Core) Start() {
+	if len(c.stream) == 0 {
+		c.FinishedAt = c.eng.Now()
+		if c.onFinish != nil {
+			c.onFinish()
+		}
+		return
+	}
+	c.schedule(c.eng.Now() + c.gapCycles(0))
+}
+
+func (c *Core) gapCycles(i int) int64 {
+	g := int64(c.stream[i].Gap)
+	if g == 0 {
+		return 0
+	}
+	return (g + c.width - 1) / c.width
+}
+
+func (c *Core) schedule(at int64) {
+	if c.scheduled {
+		return
+	}
+	c.scheduled = true
+	if now := c.eng.Now(); at < now {
+		at = now
+	}
+	c.eng.Schedule(at, func() {
+		c.scheduled = false
+		c.step()
+	})
+}
+
+func (c *Core) drain(now int64) {
+	for len(c.window) > 0 && c.window[0].ready && c.window[0].done <= now {
+		c.window = c.window[1:]
+	}
+	for len(c.stores) > 0 && c.stores[0].ready && c.stores[0].done <= now {
+		c.stores = c.stores[1:]
+	}
+}
+
+// kick resumes a core stalled on a memory completion.
+func (c *Core) kick() {
+	if c.stalled {
+		c.stalled = false
+		c.schedule(c.eng.Now())
+	}
+}
+
+func (c *Core) step() {
+	now := c.eng.Now()
+	c.drain(now)
+
+	if c.cursor >= len(c.stream) {
+		c.maybeFinish(now)
+		return
+	}
+
+	rec := &c.stream[c.cursor]
+
+	// Structural stalls: full load window or store buffer.  In-order
+	// retirement means the oldest entry gates progress.
+	if !rec.Write && len(c.window) >= c.maxOut {
+		c.stallOn(c.window[0], now)
+		return
+	}
+	if rec.Write && len(c.stores) >= c.stCap {
+		c.stallOn(c.stores[0], now)
+		return
+	}
+	if c.lastStall >= 0 {
+		c.LoadStallCycles += now - c.lastStall
+		c.lastStall = -1
+	}
+
+	level, lat := c.hier.Access(c.id, rec.Addr, rec.Write)
+	s := &slot{}
+	if level == cache.Memory {
+		req := &mem.Request{
+			Addr:   rec.Addr.Align(),
+			Type:   mem.Read, // store misses fetch-for-ownership
+			Core:   c.id,
+			Issued: now,
+		}
+		req.Done = func(finish int64) {
+			s.done, s.ready = finish, true
+			c.kick()
+		}
+		c.memsys.Submit(req)
+	} else {
+		s.done, s.ready = now+lat, true
+	}
+	if rec.Write {
+		c.stores = append(c.stores, s)
+	} else {
+		c.window = append(c.window, s)
+	}
+
+	c.Instructions += int64(rec.Gap) + 1
+	c.cursor++
+	if c.cursor < len(c.stream) {
+		c.schedule(now + 1 + c.gapCycles(c.cursor))
+	} else {
+		c.schedule(now + 1)
+	}
+}
+
+func (c *Core) stallOn(s *slot, now int64) {
+	if c.lastStall < 0 {
+		c.lastStall = now
+	}
+	if s.ready {
+		at := s.done
+		if at <= now {
+			at = now + 1
+		}
+		c.schedule(at)
+		return
+	}
+	c.stalled = true
+}
+
+func (c *Core) maybeFinish(now int64) {
+	if len(c.window) == 0 && len(c.stores) == 0 {
+		if c.FinishedAt < 0 {
+			c.FinishedAt = now
+			if c.onFinish != nil {
+				c.onFinish()
+			}
+		}
+		return
+	}
+	// Wait for the oldest pending slot.
+	var oldest *slot
+	if len(c.window) > 0 {
+		oldest = c.window[0]
+	} else {
+		oldest = c.stores[0]
+	}
+	c.stallOn(oldest, now)
+}
+
+// Complex is the whole CPU: cores sharing a hierarchy.
+type Complex struct {
+	Cores []*Core
+	Hier  *cache.Hierarchy
+
+	remaining int
+	// AllDoneAt is the cycle the last core finished, -1 while running.
+	AllDoneAt int64
+}
+
+// NewComplex builds cores over t's streams; the Writeback path of the
+// hierarchy is wired to ms as posted write requests.
+func NewComplex(eng *engine.Engine, cfg *config.System, t *trace.Trace, ms Submitter) *Complex {
+	cx := &Complex{AllDoneAt: -1}
+	cx.Hier = cache.NewHierarchy(len(t.Streams), cfg.L1, cfg.L2, cfg.L3)
+	cx.Hier.Writeback = func(b mem.BlockID) {
+		ms.Submit(&mem.Request{Addr: b.Addr(), Type: mem.Write, Core: -1, Issued: eng.Now()})
+	}
+	cx.remaining = len(t.Streams)
+	onFinish := func() {
+		cx.remaining--
+		if cx.remaining == 0 {
+			cx.AllDoneAt = eng.Now()
+		}
+	}
+	for i, s := range t.Streams {
+		cx.Cores = append(cx.Cores, NewCore(i, eng, cx.Hier, ms, s, cfg.CPU, onFinish))
+	}
+	return cx
+}
+
+// Start launches every core.
+func (cx *Complex) Start() {
+	for _, c := range cx.Cores {
+		c.Start()
+	}
+}
+
+// Instructions sums retired instructions across cores.
+func (cx *Complex) Instructions() int64 {
+	var n int64
+	for _, c := range cx.Cores {
+		n += c.Instructions
+	}
+	return n
+}

@@ -1,0 +1,594 @@
+// Package dram implements a command-level, cycle-accurate DRAM channel
+// model used for both the in-package WideIO (HBM) cache and the off-chip
+// DDR4 main memory.  It enforces the Table I timing constraints per
+// command (tRCD/tCAS/tRP/tCCD/tWTR/tWR/tRTP/tRRD/tRAS/tRC/tFAW/tBL/tCWD),
+// models open-page row buffers with FR-FCFS scheduling, bus turnaround,
+// and periodic refresh.
+//
+// The controller exposes two hooks the RedCache RCU manager (§III-C of
+// the paper) relies on:
+//
+//   - a write hook fired when a write column command is issued, letting
+//     the RCU piggyback a same-row update burst at tCCD cost, and
+//   - an idle hook fired when a channel's transaction queue drains.
+package dram
+
+import (
+	"fmt"
+	"math/bits"
+
+	"redcache/internal/config"
+	"redcache/internal/engine"
+	"redcache/internal/mem"
+	"redcache/internal/stats"
+)
+
+// Op is a transaction direction.
+type Op uint8
+
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o == OpWrite {
+		return "WR"
+	}
+	return "RD"
+}
+
+// Location is a decoded DRAM coordinate.
+type Location struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     int64
+	Col     int64 // 64 B column within the row
+}
+
+// SameRow reports whether two locations address the same open row.
+func (l Location) SameRow(o Location) bool {
+	return l.Channel == o.Channel && l.Rank == o.Rank && l.Bank == o.Bank && l.Row == o.Row
+}
+
+// Txn is one pending transaction.
+type Txn struct {
+	Addr   mem.Addr
+	Op     Op
+	Bytes  int
+	Arrive int64
+	Loc    Location
+	// Prio schedules a write with the reads instead of deferring it to a
+	// write-drain burst: it models an update the controller insists on
+	// performing immediately, paying the bus turnaround inline
+	// (Red-Basic's r-count writes).
+	Prio   bool
+	onDone func(finish int64)
+}
+
+type bank struct {
+	openRow   int64 // -1 when closed
+	actAt     int64 // cycle of last ACT
+	readyAt   int64 // earliest next ACT permitted by tRC / refresh
+	lastRdAt  int64 // last read column command (for tRTP)
+	lastWrEnd int64 // end of last write data (for tWR)
+	rcReady   int64 // actAt + tRC
+}
+
+type rank struct {
+	banks   []bank
+	lastAct int64    // for tRRD
+	actHist [4]int64 // ring buffer of recent ACT times for tFAW
+	actIdx  int
+}
+
+type channel struct {
+	rdq, wrq    []*Txn // split read/write transaction queues
+	drainWr     bool   // write-drain mode (watermark hysteresis)
+	drainBudget int    // writes remaining in the current drain burst
+	ranks       []rank
+	busFreeAt   int64 // data bus availability
+	lastColAt   int64 // last column command (tCCD)
+	lastOp      Op
+	lastDataEnd int64
+	nextRefresh int64
+	refreshEnd  int64
+	// Wake bookkeeping: at most one *live* decision event; an event only
+	// runs when its timestamp matches pendingAt (earlier wakes supersede
+	// later ones, whose stale events are dropped on firing).
+	hasPending bool
+	pendingAt  int64
+}
+
+// WriteHook is consulted when a write column command is issued.  It
+// returns extra piggyback bytes to append to the burst (the RCU
+// same-row flush, §III-C condition 1).
+type WriteHook func(loc Location) (extraBytes int)
+
+// IdleHook is fired when a channel's transaction queue drains
+// (§III-C condition 2).
+type IdleHook func(ch int)
+
+// Controller models one DRAM device (all channels) behind one interface.
+type Controller struct {
+	eng   *engine.Engine
+	cfg   config.DRAM
+	iface *stats.Interface
+
+	chans []channel
+
+	chanShift, chanMask uint64
+	colShift, colMask   uint64
+	bankShift, bankMask uint64
+	banksPerChan        int
+
+	writeHook WriteHook
+	idleHook  IdleHook
+	observer  Observer
+
+	// MaxQueue bounds the per-channel transaction queue; Enqueue panics
+	// beyond it to catch upstream flow-control bugs.
+	MaxQueue int
+}
+
+func log2(x int) uint64 {
+	if x <= 0 || x&(x-1) != 0 {
+		panic(fmt.Sprintf("dram: %d is not a positive power of two", x))
+	}
+	return uint64(bits.TrailingZeros(uint(x)))
+}
+
+// NewController builds a controller for cfg, reporting traffic into iface.
+func NewController(eng *engine.Engine, cfg config.DRAM, iface *stats.Interface) *Controller {
+	c := &Controller{eng: eng, cfg: cfg, iface: iface, MaxQueue: 1 << 16}
+	g := cfg.Geometry
+	c.chanShift = log2(g.Channels)
+	c.chanMask = uint64(g.Channels - 1)
+	blocksPerRow := g.RowBytes / mem.BlockSize
+	c.colShift = log2(blocksPerRow)
+	c.colMask = uint64(blocksPerRow - 1)
+	c.banksPerChan = g.RanksPerChan * g.BanksPerRank
+	c.bankShift = log2(c.banksPerChan)
+	c.bankMask = uint64(c.banksPerChan - 1)
+
+	c.chans = make([]channel, g.Channels)
+	for i := range c.chans {
+		ch := &c.chans[i]
+		ch.ranks = make([]rank, g.RanksPerChan)
+		for r := range ch.ranks {
+			rk := &ch.ranks[r]
+			rk.banks = make([]bank, g.BanksPerRank)
+			// A large negative history means the tRRD/tFAW windows never
+			// constrain the first activations.
+			const farPast = -(int64(1) << 40)
+			rk.lastAct = farPast
+			for i := range rk.actHist {
+				rk.actHist[i] = farPast
+			}
+			for b := range rk.banks {
+				rk.banks[b].openRow = -1
+			}
+		}
+		if cfg.Timing.TREFI > 0 {
+			// Stagger refresh across channels to avoid artificial lockstep.
+			ch.nextRefresh = cfg.Timing.TREFI * int64(i+1) / int64(g.Channels)
+		} else {
+			ch.nextRefresh = 1 << 62
+		}
+	}
+	return c
+}
+
+// SetWriteHook installs the RCU piggyback hook.
+func (c *Controller) SetWriteHook(h WriteHook) { c.writeHook = h }
+
+// SetIdleHook installs the queue-drained hook.
+func (c *Controller) SetIdleHook(h IdleHook) { c.idleHook = h }
+
+// Observer receives per-transaction service details: whether the access
+// hit an open row and the exact interface cycles it consumed (bus burst
+// plus the row-cycle penalty on a miss).  The Fig 3 homo-reuse harness
+// attributes per-block bandwidth cost through this hook.
+type Observer func(t *Txn, rowHit bool, cycles int64)
+
+// SetObserver installs the per-transaction observer.
+func (c *Controller) SetObserver(o Observer) { c.observer = o }
+
+// Interface exposes the traffic statistics this controller accumulates
+// (the RedCache α controller reads bus utilization from it).
+func (c *Controller) Interface() *stats.Interface { return c.iface }
+
+// Map decodes a physical address into channel/rank/bank/row/column using
+// block-interleaved mapping: consecutive 64 B blocks stripe across
+// channels, then across columns of a row, then across banks.
+func (c *Controller) Map(addr mem.Addr) Location {
+	blk := uint64(addr) >> mem.BlockShift
+	ch := blk & c.chanMask
+	x := blk >> c.chanShift
+	col := x & c.colMask
+	y := x >> c.colShift
+	bk := y & c.bankMask
+	row := y >> c.bankShift
+	return Location{
+		Channel: int(ch),
+		Rank:    int(bk) / c.cfg.Geometry.BanksPerRank,
+		Bank:    int(bk) % c.cfg.Geometry.BanksPerRank,
+		Row:     int64(row),
+		Col:     int64(col),
+	}
+}
+
+// Read enqueues a read of `bytes` at addr; onDone fires at data return.
+func (c *Controller) Read(addr mem.Addr, bytes int, onDone func(int64)) {
+	c.enqueue(&Txn{Addr: addr, Op: OpRead, Bytes: bytes, onDone: onDone})
+}
+
+// Write enqueues a write of `bytes` at addr; onDone (optional) fires when
+// the write data has been transferred.
+func (c *Controller) Write(addr mem.Addr, bytes int, onDone func(int64)) {
+	c.enqueue(&Txn{Addr: addr, Op: OpWrite, Bytes: bytes, onDone: onDone})
+}
+
+// WritePriority enqueues a write that is scheduled in arrival order with
+// the reads rather than waiting for a write-drain burst, forcing the bus
+// to turn around for it.
+func (c *Controller) WritePriority(addr mem.Addr, bytes int, onDone func(int64)) {
+	c.enqueue(&Txn{Addr: addr, Op: OpWrite, Bytes: bytes, Prio: true, onDone: onDone})
+}
+
+// Write-drain watermarks: reads are served first; queued writes drain
+// when the write queue grows past wrHiWM (and keep draining down to
+// wrLoWM) or when no reads are pending.  Writes are posted, so only
+// their bandwidth matters — this is the staged-write/virtual-write-queue
+// discipline of the paper's references [12][13].
+const (
+	wrHiWM = 24
+	wrLoWM = 8
+	// wrBurst bounds one drain burst so a sustained write stream cannot
+	// starve demand reads.
+	wrBurst = 12
+)
+
+// QueueLen reports the number of queued transactions on addr's channel.
+func (c *Controller) QueueLen(addr mem.Addr) int {
+	ch := &c.chans[c.Map(addr).Channel]
+	return len(ch.rdq) + len(ch.wrq)
+}
+
+// TotalQueued reports queued transactions across all channels.
+func (c *Controller) TotalQueued() int {
+	n := 0
+	for i := range c.chans {
+		n += len(c.chans[i].rdq) + len(c.chans[i].wrq)
+	}
+	return n
+}
+
+// Refreshing reports whether addr's channel is currently under refresh.
+func (c *Controller) Refreshing(addr mem.Addr) bool {
+	ch := &c.chans[c.Map(addr).Channel]
+	return c.eng.Now() < ch.refreshEnd
+}
+
+func (c *Controller) enqueue(t *Txn) {
+	// Sub-block sizes model masked/burst-chopped writes (e.g. 8 B r-count
+	// updates into the spare ECC bits); anything larger moves whole 64 B
+	// blocks.
+	if t.Bytes <= 0 || (t.Bytes > mem.BlockSize && t.Bytes%mem.BlockSize != 0) {
+		panic(fmt.Sprintf("dram: invalid transaction size %d", t.Bytes))
+	}
+	t.Arrive = c.eng.Now()
+	t.Loc = c.Map(t.Addr)
+	ch := &c.chans[t.Loc.Channel]
+	if len(ch.rdq)+len(ch.wrq) >= c.MaxQueue {
+		panic("dram: transaction queue overflow (missing upstream flow control)")
+	}
+	if t.Op == OpWrite && !t.Prio {
+		ch.wrq = append(ch.wrq, t)
+	} else {
+		ch.rdq = append(ch.rdq, t)
+	}
+	c.iface.Requests++
+	c.kick(t.Loc.Channel)
+}
+
+func (c *Controller) kick(chIdx int) {
+	c.wake(chIdx, c.eng.Now())
+}
+
+// wake arranges for a scheduling decision on the channel at cycle `at`.
+// At most one decision event is live: an earlier wake supersedes a later
+// pending one (the stale event is dropped when it fires), and a wake at
+// or after the pending time is a no-op.
+func (c *Controller) wake(chIdx int, at int64) {
+	ch := &c.chans[chIdx]
+	if now := c.eng.Now(); at < now {
+		at = now
+	}
+	if ch.hasPending && ch.pendingAt <= at {
+		return
+	}
+	ch.hasPending = true
+	ch.pendingAt = at
+	c.eng.Schedule(at, func() {
+		if !ch.hasPending || ch.pendingAt != at {
+			return // superseded
+		}
+		ch.hasPending = false
+		c.trySchedule(chIdx)
+	})
+}
+
+// readyAt returns the cycle at which t's *first* DRAM command (precharge
+// or activate on a row miss, the column command on a row hit) becomes
+// legal under the bank, rank and channel constraints.  Unlike the full
+// schedule computed by issue(), it carries no pipeline latency terms, so
+// a transaction whose resources are free reports "ready now" — this is
+// the quantity the commit-horizon test and FR-FCFS scoring need.
+func (c *Controller) readyAt(ch *channel, t *Txn) int64 {
+	tm := c.cfg.Timing
+	rk := &ch.ranks[t.Loc.Rank]
+	b := &rk.banks[t.Loc.Bank]
+	if b.openRow == t.Loc.Row {
+		r := max64(b.actAt+tm.TRCD, ch.lastColAt+tm.TCCD)
+		if t.Op == OpRead && ch.lastOp == OpWrite {
+			r = max64(r, ch.lastDataEnd+tm.TWTR)
+		}
+		return r
+	}
+	if b.openRow >= 0 {
+		// The precharge is the first command.
+		return max64(b.actAt+tm.TRAS, b.lastRdAt+tm.TRTP, b.lastWrEnd+tm.TWR)
+	}
+	// The activate is the first command.
+	return max64(b.rcReady, b.readyAt, rk.lastAct+tm.TRRD,
+		rk.actHist[rk.actIdx]+tm.TFAW)
+}
+
+// pickScan bounds how many queue entries are dry-run scored when no row
+// hit exists; beyond it the scheduler falls back to FCFS.
+const pickScan = 16
+
+// pickFrom implements FR-FCFS within one queue: the oldest row-hit
+// transaction if any exists; otherwise, among the oldest pickScan
+// entries, the one whose bank lets it issue earliest.
+func (c *Controller) pickFrom(ch *channel, q []*Txn) int {
+	for i, t := range q {
+		b := &ch.ranks[t.Loc.Rank].banks[t.Loc.Bank]
+		if b.openRow == t.Loc.Row {
+			return i
+		}
+	}
+	best, bestAt := 0, int64(1)<<62
+	n := len(q)
+	if n > pickScan {
+		n = pickScan
+	}
+	for i := 0; i < n; i++ {
+		if at := c.readyAt(ch, q[i]); at < bestAt {
+			best, bestAt = i, at
+		}
+	}
+	return best
+}
+
+// selectQueue applies the write-drain policy and returns the queue to
+// serve plus whether it is the write queue.
+func (c *Controller) selectQueue(ch *channel) (q *[]*Txn, isWrite bool) {
+	serveWrites := false
+	switch {
+	case len(ch.rdq) == 0:
+		serveWrites = true
+	case ch.drainWr:
+		if len(ch.wrq) <= wrLoWM || ch.drainBudget <= 0 {
+			ch.drainWr = false
+		} else {
+			serveWrites = true
+		}
+	case len(ch.wrq) >= wrHiWM:
+		ch.drainWr = true
+		ch.drainBudget = wrBurst
+		serveWrites = true
+	}
+	if serveWrites && len(ch.wrq) > 0 {
+		return &ch.wrq, true
+	}
+	return &ch.rdq, false
+}
+
+// commitHorizon is how close (in cycles) a transaction's column command
+// must be before the scheduler commits it.  Deferring further-out work
+// keeps the queue visible to FR-FCFS so later row hits can overtake.
+const commitHorizon = 8
+
+func (c *Controller) trySchedule(chIdx int) {
+	ch := &c.chans[chIdx]
+	now := c.eng.Now()
+
+	if len(ch.rdq)+len(ch.wrq) == 0 {
+		if c.idleHook != nil {
+			c.idleHook(chIdx)
+		}
+		if len(ch.rdq)+len(ch.wrq) == 0 {
+			// Idle until the next enqueue.  Refresh for an idle channel
+			// is handled lazily on the next kick; skipped idle refreshes
+			// do not perturb timing.
+			return
+		}
+	}
+	// Refresh takes priority once due (but only while there is work, so
+	// an idle system's event queue can drain).
+	if now >= ch.nextRefresh {
+		c.doRefresh(chIdx, ch)
+		return
+	}
+	if now < ch.refreshEnd {
+		c.wake(chIdx, ch.refreshEnd)
+		return
+	}
+
+	q, isWrite := c.selectQueue(ch)
+	idx := c.pickFrom(ch, *q)
+	t := (*q)[idx]
+	if at := c.readyAt(ch, t); at > now+commitHorizon {
+		// Not issueable soon: leave it queued so a better candidate (a
+		// row hit arriving meanwhile) can overtake, and wake when this
+		// one would become ready.
+		c.wake(chIdx, at-commitHorizon)
+		return
+	}
+	*q = append((*q)[:idx], (*q)[idx+1:]...)
+	if isWrite && ch.drainWr {
+		ch.drainBudget--
+	}
+	c.issue(ch, t, now)
+	c.wake(chIdx, now+1)
+}
+
+// issue computes the full command schedule for t against current bank and
+// bus state, updates state and statistics, and fires the completion
+// callback.  It returns the cycle the data burst starts.
+func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
+	tm := c.cfg.Timing
+	rk := &ch.ranks[t.Loc.Rank]
+	b := &rk.banks[t.Loc.Bank]
+
+	var colReady int64 // earliest column command permitted by bank state
+	rowHit := b.openRow == t.Loc.Row
+	if rowHit {
+		colReady = max64(now, b.actAt+tm.TRCD)
+		c.iface.RowHits++
+	} else {
+		c.iface.RowMisses++
+		// Precharge (if a row is open), respecting tRAS/tRTP/tWR.
+		preAt := now
+		if b.openRow >= 0 {
+			preAt = max64(preAt, b.actAt+tm.TRAS, b.lastRdAt+tm.TRTP, b.lastWrEnd+tm.TWR)
+		}
+		// Activate, respecting tRP, tRC, tRRD, tFAW and refresh recovery.
+		actAt := max64(preAt+boolTo64(b.openRow >= 0)*tm.TRP,
+			b.rcReady, b.readyAt, rk.lastAct+tm.TRRD,
+			rk.actHist[rk.actIdx]+tm.TFAW)
+		b.actAt = actAt
+		b.rcReady = actAt + tm.TRC
+		b.openRow = t.Loc.Row
+		rk.lastAct = actAt
+		rk.actHist[rk.actIdx] = actAt
+		rk.actIdx = (rk.actIdx + 1) % 4
+		c.iface.Activates++
+		colReady = actAt + tm.TRCD
+	}
+
+	// Column command constraints shared across the channel.
+	cmdAt := max64(colReady, ch.lastColAt+tm.TCCD)
+	if t.Op == OpRead && ch.lastOp == OpWrite {
+		cmdAt = max64(cmdAt, ch.lastDataEnd+tm.TWTR)
+	}
+
+	var lat int64
+	if t.Op == OpRead {
+		lat = tm.TCAS
+	} else {
+		lat = tm.TCWD
+	}
+	// The data burst must wait for the bus; read-after-write turnaround
+	// beyond tWTR and write-after-read bubbles collapse into bus
+	// availability plus a two-cycle direction-switch penalty.
+	dataStart := cmdAt + lat
+	minStart := ch.busFreeAt
+	if ch.lastDataEnd > 0 && t.Op != ch.lastOp {
+		minStart = max64(minStart, ch.lastDataEnd+2)
+	}
+	if dataStart < minStart {
+		dataStart = minStart
+		cmdAt = dataStart - lat
+	}
+
+	burstCycles := busCycles(t.Bytes, tm.TBL)
+	if c.writeHook != nil && t.Op == OpWrite {
+		if extra := c.writeHook(t.Loc); extra > 0 {
+			// Piggybacked same-row RCU updates extend the transfer
+			// instead of paying a new turnaround.
+			burstCycles += busCycles(extra, tm.TBL)
+			c.iface.WriteBytes += int64(extra)
+		}
+	}
+	dataEnd := dataStart + burstCycles
+
+	// Commit channel/bank state.
+	ch.lastColAt = cmdAt
+	ch.lastOp = t.Op
+	ch.lastDataEnd = dataEnd
+	ch.busFreeAt = dataEnd
+	if t.Op == OpRead {
+		b.lastRdAt = cmdAt
+		c.iface.ReadBytes += int64(t.Bytes)
+	} else {
+		b.lastWrEnd = dataEnd
+		c.iface.WriteBytes += int64(t.Bytes)
+	}
+	c.iface.BusyCycles += burstCycles
+
+	if c.observer != nil {
+		cost := burstCycles
+		if !rowHit {
+			cost += tm.TRCD + tm.TRP
+		}
+		c.observer(t, rowHit, cost)
+	}
+
+	if t.onDone != nil {
+		done := t.onDone
+		c.eng.Schedule(dataEnd, func() { done(dataEnd) })
+	}
+	return dataStart
+}
+
+func (c *Controller) doRefresh(chIdx int, ch *channel) {
+	tm := c.cfg.Timing
+	now := c.eng.Now()
+	end := now + tm.TRFC
+	ch.refreshEnd = end
+	ch.nextRefresh = now + tm.TREFI
+	ch.busFreeAt = max64(ch.busFreeAt, end)
+	for r := range ch.ranks {
+		rk := &ch.ranks[r]
+		for bi := range rk.banks {
+			b := &rk.banks[bi]
+			b.openRow = -1
+			b.readyAt = max64(b.readyAt, end)
+		}
+	}
+	c.iface.Refreshes++
+	c.wake(chIdx, end)
+}
+
+// busCycles converts a transfer size into data-bus cycles: tBL covers a
+// 64 B block; smaller masked writes take a proportional (rounded-up)
+// slice of the burst.
+func busCycles(bytes int, tbl int64) int64 {
+	c := (int64(bytes)*tbl + mem.BlockSize - 1) / mem.BlockSize
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+func max64(xs ...int64) int64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func boolTo64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

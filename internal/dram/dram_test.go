@@ -1,0 +1,354 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"redcache/internal/config"
+	"redcache/internal/engine"
+	"redcache/internal/mem"
+	"redcache/internal/stats"
+)
+
+// testDRAM builds a single-channel device with Table I HBM timings and
+// refresh disabled, so command schedules can be asserted analytically.
+func testDRAM(banks int) config.DRAM {
+	tm := config.PaperHBMTiming()
+	tm.TREFI = 0 // disabled
+	return config.DRAM{
+		Name: "test",
+		Geometry: config.DRAMGeometry{Channels: 1, RanksPerChan: 1,
+			BanksPerRank: banks, RowBytes: 2048, BusBytes: 16, CapacityB: 1 << 30},
+		Timing: tm,
+	}
+}
+
+func newTestCtl(t *testing.T, banks int) (*engine.Engine, *Controller, *stats.Interface) {
+	t.Helper()
+	eng := engine.New()
+	iface := &stats.Interface{Name: "test"}
+	c := NewController(eng, testDRAM(banks), iface)
+	return eng, c, iface
+}
+
+// rowAddr returns an address that maps to the given (bank, row) on the
+// single-channel test device.
+func rowAddr(c *Controller, bank, row, col int64) mem.Addr {
+	blocksPerRow := int64(2048 / 64)
+	banks := int64(c.banksPerChan)
+	blk := ((row*banks+bank)*blocksPerRow + col)
+	return mem.Addr(blk << mem.BlockShift)
+}
+
+func TestClosedBankReadLatency(t *testing.T) {
+	eng, c, _ := newTestCtl(t, 4)
+	var done int64 = -1
+	c.Read(rowAddr(c, 0, 0, 0), 64, func(f int64) { done = f })
+	eng.Run()
+	// ACT at 0, column read at tRCD=44, data at +tCAS=44, burst tBL=10.
+	if want := int64(44 + 44 + 10); done != want {
+		t.Fatalf("read done at %d, want %d", done, want)
+	}
+}
+
+func TestRowHitReadsSpacedByTCCD(t *testing.T) {
+	eng, c, iface := newTestCtl(t, 4)
+	var d1, d2 int64
+	c.Read(rowAddr(c, 0, 0, 0), 64, func(f int64) { d1 = f })
+	c.Read(rowAddr(c, 0, 0, 1), 64, func(f int64) { d2 = f })
+	eng.Run()
+	if d1 != 98 {
+		t.Fatalf("first read done at %d, want 98", d1)
+	}
+	// Second column command at 44+tCCD=60, data 104..114.
+	if d2 != 114 {
+		t.Fatalf("row-hit read done at %d, want 114 (tCCD spacing)", d2)
+	}
+	if iface.RowHits != 1 || iface.RowMisses != 1 {
+		t.Fatalf("row hits/misses = %d/%d, want 1/1", iface.RowHits, iface.RowMisses)
+	}
+}
+
+func TestRowConflictPaysTRC(t *testing.T) {
+	eng, c, _ := newTestCtl(t, 4)
+	var d2 int64
+	c.Read(rowAddr(c, 0, 0, 0), 64, nil)
+	c.Read(rowAddr(c, 0, 1, 0), 64, func(f int64) { d2 = f })
+	eng.Run()
+	// Same bank, different row: the second ACT cannot issue before
+	// tRC=271 after the first; data at 271+44+44+10 = 369.
+	if d2 != 369 {
+		t.Fatalf("conflict read done at %d, want 369 (tRC bound)", d2)
+	}
+}
+
+func TestWriteToReadTurnaroundPaysTWTR(t *testing.T) {
+	eng, c, _ := newTestCtl(t, 4)
+	var wDone, rDone int64
+	c.Write(rowAddr(c, 0, 0, 0), 64, func(f int64) { wDone = f })
+	eng.Schedule(1, func() {
+		c.Read(rowAddr(c, 0, 0, 1), 64, func(f int64) { rDone = f })
+	})
+	eng.Run()
+	// Write: ACT 0, WR at 44, data 105..115.  Read command must wait
+	// tWTR=31 after write data: 146; data 190..200.
+	if wDone != 115 {
+		t.Fatalf("write done at %d, want 115", wDone)
+	}
+	if rDone != 200 {
+		t.Fatalf("read-after-write done at %d, want 200 (tWTR)", rDone)
+	}
+}
+
+func TestFourActivateWindow(t *testing.T) {
+	eng, c, _ := newTestCtl(t, 8)
+	var last int64
+	for b := int64(0); b < 5; b++ {
+		b := b
+		c.Read(rowAddr(c, b, 0, 0), 64, func(f int64) { last = f })
+	}
+	eng.Run()
+	// Activates at 0,16,32,48 (tRRD); the fifth must wait for tFAW=181
+	// after the first. Data at 181+44+44+10 = 279.
+	if last != 279 {
+		t.Fatalf("fifth-bank read done at %d, want 279 (tFAW)", last)
+	}
+}
+
+func TestMappingIsInjective(t *testing.T) {
+	_, c, _ := newTestCtl(t, 8)
+	seen := make(map[Location]mem.Addr)
+	for blk := int64(0); blk < 1<<14; blk++ {
+		a := mem.Addr(blk << mem.BlockShift)
+		loc := c.Map(a)
+		if prev, dup := seen[loc]; dup {
+			t.Fatalf("addresses %#x and %#x map to %+v", uint64(prev), uint64(a), loc)
+		}
+		seen[loc] = a
+	}
+}
+
+func TestMappingStripesChannels(t *testing.T) {
+	eng := engine.New()
+	cfg := testDRAM(4)
+	cfg.Geometry.Channels = 4
+	c := NewController(eng, cfg, &stats.Interface{})
+	for blk := 0; blk < 16; blk++ {
+		loc := c.Map(mem.Addr(blk * 64))
+		if loc.Channel != blk%4 {
+			t.Fatalf("block %d on channel %d, want %d", blk, loc.Channel, blk%4)
+		}
+	}
+}
+
+func TestMapRoundTripProperty(t *testing.T) {
+	_, c, _ := newTestCtl(t, 8)
+	f := func(a mem.Addr) bool {
+		a &= 1<<28 - 1
+		l1 := c.Map(a)
+		l2 := c.Map(a.Align())
+		return l1 == l2 // all bytes of a block share a location
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadsPrioritizedOverWrites(t *testing.T) {
+	eng, c, _ := newTestCtl(t, 8)
+	var readDone int64
+	writesDone := 0
+	for i := int64(0); i < 10; i++ {
+		c.Write(rowAddr(c, i%8, i/8, 0), 64, func(int64) {
+			if readDone == 0 {
+				writesDone++
+			}
+		})
+	}
+	c.Read(rowAddr(c, 0, 5, 0), 64, func(f int64) { readDone = f })
+	eng.Run()
+	if readDone == 0 {
+		t.Fatal("read never completed")
+	}
+	// With 10 < wrHiWM writes queued, the read should overtake most of
+	// the write queue (first write may already be in flight).
+	if writesDone > 2 {
+		t.Fatalf("%d writes served before the demand read", writesDone)
+	}
+}
+
+func TestWriteDrainAtWatermark(t *testing.T) {
+	eng, c, _ := newTestCtl(t, 8)
+	// No reads at all: writes must drain on their own.
+	n := 0
+	for i := int64(0); i < 40; i++ {
+		c.Write(rowAddr(c, i%8, i/8, i%4), 64, func(int64) { n++ })
+	}
+	eng.Run()
+	if n != 40 {
+		t.Fatalf("%d writes completed, want 40", n)
+	}
+}
+
+func TestSubBlockWriteBusCycles(t *testing.T) {
+	if got := busCycles(8, 10); got != 2 {
+		t.Fatalf("busCycles(8B) = %d, want 2", got)
+	}
+	if got := busCycles(64, 10); got != 10 {
+		t.Fatalf("busCycles(64B) = %d, want 10", got)
+	}
+	if got := busCycles(256, 10); got != 40 {
+		t.Fatalf("busCycles(256B) = %d, want 40", got)
+	}
+	if got := busCycles(1, 10); got != 1 {
+		t.Fatalf("busCycles(1B) = %d, want >=1", got)
+	}
+}
+
+func TestPriorityWriteSchedulesWithReads(t *testing.T) {
+	eng, c, _ := newTestCtl(t, 8)
+	order := []string{}
+	for i := int64(0); i < 5; i++ {
+		c.Write(rowAddr(c, i%8, 3, 0), 64, func(int64) { order = append(order, "w") })
+	}
+	c.WritePriority(rowAddr(c, 6, 0, 0), 8, func(int64) { order = append(order, "p") })
+	eng.Run()
+	if order[0] != "p" && order[1] != "p" {
+		t.Fatalf("priority write served late: %v", order)
+	}
+}
+
+func TestIdleHookFiresWhenQueueDrains(t *testing.T) {
+	eng, c, _ := newTestCtl(t, 4)
+	fired := 0
+	c.SetIdleHook(func(ch int) { fired++ })
+	c.Read(rowAddr(c, 0, 0, 0), 64, nil)
+	eng.Run()
+	if fired == 0 {
+		t.Fatal("idle hook never fired")
+	}
+}
+
+func TestWriteHookPiggybackExtendsBurst(t *testing.T) {
+	eng, c, iface := newTestCtl(t, 4)
+	c.SetWriteHook(func(loc Location) int { return 8 })
+	var done int64
+	c.Write(rowAddr(c, 0, 0, 0), 64, func(f int64) { done = f })
+	eng.Run()
+	// 64B burst (10 cycles) + 8B piggyback (2 cycles): data 105..117.
+	if done != 117 {
+		t.Fatalf("piggybacked write done at %d, want 117", done)
+	}
+	if iface.WriteBytes != 72 {
+		t.Fatalf("write bytes = %d, want 72", iface.WriteBytes)
+	}
+}
+
+func TestObserverSeesRowHitAndCost(t *testing.T) {
+	eng, c, _ := newTestCtl(t, 4)
+	var costs []int64
+	var hits []bool
+	c.SetObserver(func(txn *Txn, rowHit bool, cycles int64) {
+		costs = append(costs, cycles)
+		hits = append(hits, rowHit)
+	})
+	c.Read(rowAddr(c, 0, 0, 0), 64, nil)
+	c.Read(rowAddr(c, 0, 0, 1), 64, nil)
+	eng.Run()
+	if len(costs) != 2 {
+		t.Fatalf("observer saw %d txns", len(costs))
+	}
+	if hits[0] || !hits[1] {
+		t.Fatalf("row hits = %v, want [false true]", hits)
+	}
+	if costs[0] != 10+44+44 || costs[1] != 10 {
+		t.Fatalf("costs = %v", costs)
+	}
+}
+
+func TestRefreshHappensUnderLoad(t *testing.T) {
+	eng := engine.New()
+	cfg := testDRAM(4)
+	cfg.Timing.TREFI = 2000
+	cfg.Timing.TRFC = 500
+	iface := &stats.Interface{}
+	c := NewController(eng, cfg, iface)
+	done := 0
+	var issue func(i int64)
+	issue = func(i int64) {
+		if i >= 100 {
+			return
+		}
+		c.Read(rowAddr(c, i%4, i/4, 0), 64, func(int64) {
+			done++
+			issue(i + 1)
+		})
+	}
+	issue(0)
+	eng.Run()
+	if done != 100 {
+		t.Fatalf("%d reads done, want 100", done)
+	}
+	if iface.Refreshes == 0 {
+		t.Fatal("no refreshes under sustained load")
+	}
+	if !c.Refreshing(0) && iface.Refreshes > 0 {
+		// Refreshing() depends on current time; just exercise it.
+		_ = c.Refreshing(0)
+	}
+}
+
+func TestInvalidTransactionSizePanics(t *testing.T) {
+	_, c, _ := newTestCtl(t, 4)
+	for _, bad := range []int{0, -64, 96} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("size %d should panic", bad)
+				}
+			}()
+			c.Read(0, bad, nil)
+		}()
+	}
+}
+
+func TestQueueOverflowPanics(t *testing.T) {
+	_, c, _ := newTestCtl(t, 4)
+	c.MaxQueue = 4
+	defer func() {
+		if recover() == nil {
+			t.Error("expected overflow panic")
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		c.Read(0, 64, nil)
+	}
+}
+
+func TestQueueAccounting(t *testing.T) {
+	eng, c, _ := newTestCtl(t, 4)
+	c.Read(rowAddr(c, 0, 0, 0), 64, nil)
+	c.Write(rowAddr(c, 1, 0, 0), 64, nil)
+	if c.TotalQueued() != 2 || c.QueueLen(0) != 2 {
+		t.Fatalf("queued = %d/%d, want 2/2", c.TotalQueued(), c.QueueLen(0))
+	}
+	eng.Run()
+	if c.TotalQueued() != 0 {
+		t.Fatal("queues should drain")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "RD" || OpWrite.String() != "WR" {
+		t.Error("Op strings changed")
+	}
+}
+
+func TestSameRow(t *testing.T) {
+	a := Location{Channel: 1, Rank: 0, Bank: 2, Row: 7, Col: 0}
+	b := Location{Channel: 1, Rank: 0, Bank: 2, Row: 7, Col: 5}
+	c := Location{Channel: 1, Rank: 0, Bank: 2, Row: 8}
+	if !a.SameRow(b) || a.SameRow(c) {
+		t.Error("SameRow wrong")
+	}
+}

@@ -1,0 +1,75 @@
+// Package energy turns simulation event counts into energy estimates.
+// The model is event-based: per-operation dynamic energies (activations
+// and per-bit array/IO energies, constants in internal/config) plus
+// background power integrated over execution time, plus controller SRAM
+// and in-situ processing overheads for the RedCache variants.  Absolute
+// joules are indicative; the paper's figures (10, 11) are relative and
+// depend on event counts and execution time, which are simulated.
+package energy
+
+import (
+	"redcache/internal/config"
+	"redcache/internal/stats"
+)
+
+// Breakdown is the energy split for one run, in joules.
+type Breakdown struct {
+	HBMDynamic    float64 // HBM ACT + array + IO
+	HBMBackground float64
+	CtrlSRAM      float64 // alpha buffer, RCU CAM/RAM, presence filters
+	InSitu        float64 // in-DRAM r-count processing (Red-InSitu/Gamma)
+	DDRDynamic    float64
+	DDRBackground float64
+	CPU           float64
+}
+
+// HBMCache is the "HBM cache energy" of Fig 10: everything spent by the
+// in-package cache and its controller structures.
+func (b Breakdown) HBMCache() float64 {
+	return b.HBMDynamic + b.HBMBackground + b.CtrlSRAM + b.InSitu
+}
+
+// System is the whole-system energy of Fig 11.
+func (b Breakdown) System() float64 {
+	return b.HBMCache() + b.DDRDynamic + b.DDRBackground + b.CPU
+}
+
+// Inputs carries the event counts a Compute call needs.
+type Inputs struct {
+	Cycles      int64
+	HBM         *stats.Interface // nil for No-HBM
+	DDR         *stats.Interface
+	SRAMAccess  int64
+	InSituCount int64
+}
+
+// Compute evaluates the model for one finished run.
+func Compute(cfg *config.System, in Inputs) Breakdown {
+	seconds := float64(in.Cycles) / (cfg.CPU.FreqGHz * 1e9)
+	var b Breakdown
+	if in.HBM != nil {
+		b.HBMDynamic = dynamicJ(cfg.HBM, in.HBM)
+		b.HBMBackground = backgroundJ(cfg.HBM, seconds)
+	}
+	b.DDRDynamic = dynamicJ(cfg.MainMem, in.DDR)
+	b.DDRBackground = backgroundJ(cfg.MainMem, seconds)
+	b.CtrlSRAM = float64(in.SRAMAccess) * cfg.Red.SRAMAccessPJ * 1e-12
+	b.InSitu = float64(in.InSituCount) * cfg.Red.InSituPJ * 1e-12
+	b.CPU = (float64(cfg.CPU.Cores)*cfg.CPU.CorePowerMW + cfg.CPU.UncorePowerMW) * 1e-3 * seconds
+	return b
+}
+
+func dynamicJ(d config.DRAM, i *stats.Interface) float64 {
+	e := d.Energy
+	bits := float64(i.TotalBytes()) * 8
+	// An all-bank refresh costs roughly one activation per bank.
+	refreshActs := float64(i.Refreshes) * float64(d.Geometry.RanksPerChan*d.Geometry.BanksPerRank)
+	pj := float64(i.Activates)*e.ActPJ +
+		refreshActs*e.ActPJ +
+		bits*(e.RdWrPJPerBit+e.IOPJPerBit)
+	return pj * 1e-12
+}
+
+func backgroundJ(d config.DRAM, seconds float64) float64 {
+	return d.Energy.BackgroundMW * float64(d.Geometry.Channels) * 1e-3 * seconds
+}

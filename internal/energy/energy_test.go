@@ -1,0 +1,107 @@
+package energy
+
+import (
+	"testing"
+
+	"redcache/internal/config"
+	"redcache/internal/stats"
+)
+
+func inputs(cycles int64) Inputs {
+	return Inputs{
+		Cycles: cycles,
+		HBM: &stats.Interface{ReadBytes: 1 << 20, WriteBytes: 1 << 20,
+			Activates: 1000, Refreshes: 10},
+		DDR: &stats.Interface{ReadBytes: 1 << 19, Activates: 500},
+	}
+}
+
+func TestComputeComponentsPositive(t *testing.T) {
+	cfg := config.Default()
+	b := Compute(cfg, inputs(1_000_000))
+	for name, v := range map[string]float64{
+		"HBMDynamic": b.HBMDynamic, "HBMBackground": b.HBMBackground,
+		"DDRDynamic": b.DDRDynamic, "DDRBackground": b.DDRBackground,
+		"CPU": b.CPU,
+	} {
+		if v <= 0 {
+			t.Errorf("%s = %g, want > 0", name, v)
+		}
+	}
+	if b.System() <= b.HBMCache() {
+		t.Error("system energy must exceed HBM cache energy")
+	}
+}
+
+func TestNoHBMHasNoHBMEnergy(t *testing.T) {
+	cfg := config.Default()
+	in := inputs(1_000_000)
+	in.HBM = nil
+	b := Compute(cfg, in)
+	if b.HBMDynamic != 0 || b.HBMBackground != 0 {
+		t.Error("No-HBM run must not accumulate HBM energy")
+	}
+	if b.System() <= 0 {
+		t.Error("system energy must still be positive")
+	}
+}
+
+func TestEnergyScalesWithTraffic(t *testing.T) {
+	cfg := config.Default()
+	small := Compute(cfg, inputs(1_000_000))
+	big := inputs(1_000_000)
+	big.HBM.ReadBytes *= 4
+	big.HBM.WriteBytes *= 4
+	bigB := Compute(cfg, big)
+	if bigB.HBMDynamic <= small.HBMDynamic {
+		t.Error("more traffic must cost more dynamic energy")
+	}
+	if bigB.HBMBackground != small.HBMBackground {
+		t.Error("background energy depends on time, not traffic")
+	}
+}
+
+func TestBackgroundScalesWithTime(t *testing.T) {
+	cfg := config.Default()
+	short := Compute(cfg, inputs(1_000_000))
+	long := Compute(cfg, inputs(2_000_000))
+	if long.HBMBackground <= short.HBMBackground || long.CPU <= short.CPU {
+		t.Error("background/CPU energy must grow with execution time")
+	}
+	if long.HBMDynamic != short.HBMDynamic {
+		t.Error("dynamic energy must not depend on time")
+	}
+}
+
+func TestControllerOverheads(t *testing.T) {
+	cfg := config.Default()
+	in := inputs(1_000_000)
+	in.SRAMAccess = 1_000_000
+	in.InSituCount = 1_000_000
+	b := Compute(cfg, in)
+	if b.CtrlSRAM <= 0 || b.InSitu <= 0 {
+		t.Error("controller overheads must be accounted")
+	}
+	want := 1e6 * cfg.Red.SRAMAccessPJ * 1e-12
+	if diff := b.CtrlSRAM - want; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("CtrlSRAM = %g, want %g", b.CtrlSRAM, want)
+	}
+	if b.HBMCache() < b.HBMDynamic+b.HBMBackground+b.CtrlSRAM+b.InSitu {
+		t.Error("HBMCache must include controller overheads")
+	}
+}
+
+func TestRelativeEnergyIntuition(t *testing.T) {
+	// An architecture that moves half the HBM bytes in the same time must
+	// show lower HBM-cache energy — the Fig 10 mechanism.
+	cfg := config.Default()
+	a := Compute(cfg, inputs(1_000_000))
+	lean := inputs(1_000_000)
+	lean.HBM.ReadBytes /= 2
+	lean.HBM.WriteBytes /= 2
+	lean.HBM.Activates /= 2
+	b := Compute(cfg, lean)
+	if b.HBMCache() >= a.HBMCache() {
+		t.Error("halving HBM traffic must reduce HBM cache energy")
+	}
+}

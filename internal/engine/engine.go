@@ -1,0 +1,109 @@
+// Package engine provides a deterministic discrete-event simulation
+// kernel used by every timed component in the simulator (cores, cache
+// controllers, DRAM channels).
+//
+// Time is measured in integer CPU cycles.  Events scheduled for the same
+// cycle fire in schedule order (a monotonically increasing sequence
+// number breaks ties), which makes whole-system runs bit-reproducible.
+package engine
+
+import "container/heap"
+
+// Event is a callback bound to a firing time.
+type Event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler.  The zero value is ready to use.
+type Engine struct {
+	now    int64
+	seq    uint64
+	events eventHeap
+	// Fired counts events executed; useful for run-away detection in tests.
+	Fired uint64
+	// Limit, when nonzero, aborts Run after this many events.
+	Limit uint64
+}
+
+// New returns an empty engine at cycle 0.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current simulation time in cycles.
+func (e *Engine) Now() int64 { return e.now }
+
+// Schedule enqueues fn to run at cycle `at`.  Scheduling in the past is a
+// programming error and panics, because it would silently reorder time.
+func (e *Engine) Schedule(at int64, fn func()) {
+	if at < e.now {
+		panic("engine: scheduling event in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, &Event{at: at, seq: e.seq, fn: fn})
+}
+
+// After enqueues fn to run delay cycles from now.
+func (e *Engine) After(delay int64, fn func()) { e.Schedule(e.now+delay, fn) }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step executes the single earliest event and returns true, or returns
+// false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	e.now = ev.at
+	e.Fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains (or Limit is hit) and
+// returns the final simulation time.
+func (e *Engine) Run() int64 {
+	for e.Step() {
+		if e.Limit != 0 && e.Fired >= e.Limit {
+			panic("engine: event limit exceeded (likely a scheduling loop)")
+		}
+	}
+	return e.now
+}
+
+// RunUntil executes events with firing time <= deadline, advancing the
+// clock to the deadline if the queue drains earlier.
+func (e *Engine) RunUntil(deadline int64) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

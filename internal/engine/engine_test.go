@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRunsEventsInTimeOrder(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	if end := e.Run(); end != 30 {
+		t.Fatalf("final time = %d, want 30", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestSameCycleEventsFireInScheduleOrder(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break order %v not FIFO", got)
+		}
+	}
+}
+
+func TestEventsCanScheduleMoreEvents(t *testing.T) {
+	e := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 100 {
+			e.After(1, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	if end := e.Run(); end != 99 {
+		t.Fatalf("final time = %d, want 99", end)
+	}
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	e := New()
+	var at int64
+	e.Schedule(7, func() {
+		e.After(3, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 10 {
+		t.Fatalf("After fired at %d, want 10", at)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(5, func() { fired = true })
+	e.Schedule(50, func() {})
+	e.RunUntil(20)
+	if !fired {
+		t.Error("event at 5 should have fired")
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now() = %d, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Error("Step on empty engine should return false")
+	}
+}
+
+func TestLimitAborts(t *testing.T) {
+	e := New()
+	e.Limit = 10
+	var chain func()
+	chain = func() { e.After(1, chain) }
+	e.Schedule(0, chain)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on event limit")
+		}
+	}()
+	e.Run()
+}
+
+// TestFiredCountsEvents checks Fired for an arbitrary schedule.
+func TestFiredCountsEvents(t *testing.T) {
+	f := func(delays []uint8) bool {
+		e := New()
+		for _, d := range delays {
+			e.Schedule(int64(d), func() {})
+		}
+		e.Run()
+		return e.Fired == uint64(len(delays))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonotonicClock: however events are scheduled, observed times never
+// decrease.
+func TestMonotonicClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		last := int64(-1)
+		ok := true
+		for _, d := range delays {
+			e.Schedule(int64(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,426 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (§II and §IV): the bandwidth-efficiency scatter of Fig 2,
+// the homo-reuse histograms of Fig 3, and the execution-time and energy
+// comparisons of Figs 9-11, plus the §II-C and §III-C statistics quoted
+// in the text.  Runs are memoized so figures sharing (workload,
+// architecture) pairs reuse results, and independent runs execute in
+// parallel.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"redcache/internal/config"
+	"redcache/internal/dram"
+	"redcache/internal/hbm"
+	"redcache/internal/sim"
+	"redcache/internal/stats"
+	"redcache/internal/trace"
+	"redcache/internal/workloads"
+)
+
+// Suite runs and memoizes simulations for one configuration.
+type Suite struct {
+	Sys      *config.System
+	Scale    workloads.Scale
+	Seed     int64
+	Parallel int
+	// Workloads restricts the benchmark set (labels); nil means all 11.
+	Workloads []string
+	// Progress, when set, receives a line per completed run.
+	Progress func(msg string)
+
+	mu      sync.Mutex
+	traces  map[string]*trace.Trace
+	results map[runKey]*sim.Result
+}
+
+type runKey struct {
+	workload    string
+	arch        hbm.Arch
+	granularity int
+}
+
+// NewSuite builds a Suite over the default evaluation configuration.
+func NewSuite(sc workloads.Scale) *Suite {
+	return &Suite{
+		Sys:      config.Default(),
+		Scale:    sc,
+		Seed:     1,
+		Parallel: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Labels returns the workload set in Table II order.
+func (s *Suite) Labels() []string {
+	if s.Workloads != nil {
+		return s.Workloads
+	}
+	return workloads.Labels()
+}
+
+func (s *Suite) traceFor(label string) (*trace.Trace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.traces == nil {
+		s.traces = make(map[string]*trace.Trace)
+	}
+	if t, ok := s.traces[label]; ok {
+		return t, nil
+	}
+	spec, err := workloads.ByLabel(label)
+	if err != nil {
+		return nil, err
+	}
+	t := spec.Gen(s.Sys.CPU.Cores, s.Scale, s.Seed)
+	s.traces[label] = t
+	return t, nil
+}
+
+// Result returns the memoized result for one run, simulating on demand.
+func (s *Suite) Result(label string, arch hbm.Arch) (*sim.Result, error) {
+	return s.resultG(label, arch, s.Sys.Granularity)
+}
+
+func (s *Suite) resultG(label string, arch hbm.Arch, gran int) (*sim.Result, error) {
+	key := runKey{label, arch, gran}
+	s.mu.Lock()
+	if s.results == nil {
+		s.results = make(map[runKey]*sim.Result)
+	}
+	if r, ok := s.results[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	t, err := s.traceFor(label)
+	if err != nil {
+		return nil, err
+	}
+	cfg := *s.Sys // shallow copy; granularity differs per run
+	cfg.Granularity = gran
+	res, err := sim.Run(&cfg, arch, t, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", label, arch, err)
+	}
+	s.mu.Lock()
+	s.results[key] = res
+	s.mu.Unlock()
+	if s.Progress != nil {
+		s.Progress(fmt.Sprintf("done %s/%s (gran %dB): %d cycles", label, arch, gran, res.Cycles))
+	}
+	return res, nil
+}
+
+// runAll executes the given runs, bounded by s.Parallel workers, and
+// returns the first error.
+func (s *Suite) runAll(keys []runKey) error {
+	workers := s.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	errCh := make(chan error, len(keys))
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k runKey) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, err := s.resultG(k.workload, k.arch, k.granularity); err != nil {
+				errCh <- err
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// Geomean computes the geometric mean of xs.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// NormalizedSeries is one figure's data: per-workload values for several
+// architectures, normalized to a baseline architecture.
+type NormalizedSeries struct {
+	Title     string
+	Baseline  hbm.Arch
+	Archs     []hbm.Arch
+	Workloads []string
+	// Values[workload][arch] is the normalized metric (lower is better).
+	Values map[string]map[hbm.Arch]float64
+	// Mean[arch] is the geometric mean across workloads.
+	Mean map[hbm.Arch]float64
+}
+
+// normalizedFigure runs archs x workloads, extracts metric, normalizes to
+// baseline per workload, and fills means.
+func (s *Suite) normalizedFigure(title string, baseline hbm.Arch, archs []hbm.Arch,
+	metric func(*sim.Result) float64) (*NormalizedSeries, error) {
+	labels := s.Labels()
+	var keys []runKey
+	for _, w := range labels {
+		for _, a := range archs {
+			keys = append(keys, runKey{w, a, s.Sys.Granularity})
+		}
+	}
+	if err := s.runAll(keys); err != nil {
+		return nil, err
+	}
+	out := &NormalizedSeries{
+		Title: title, Baseline: baseline, Archs: archs, Workloads: labels,
+		Values: make(map[string]map[hbm.Arch]float64),
+		Mean:   make(map[hbm.Arch]float64),
+	}
+	for _, w := range labels {
+		base, err := s.Result(w, baseline)
+		if err != nil {
+			return nil, err
+		}
+		row := make(map[hbm.Arch]float64)
+		for _, a := range archs {
+			r, err := s.Result(w, a)
+			if err != nil {
+				return nil, err
+			}
+			row[a] = metric(r) / metric(base)
+		}
+		out.Values[w] = row
+	}
+	for _, a := range archs {
+		var xs []float64
+		for _, w := range labels {
+			xs = append(xs, out.Values[w][a])
+		}
+		out.Mean[a] = Geomean(xs)
+	}
+	return out, nil
+}
+
+// Fig9 reproduces "Relative execution time" normalized to Alloy.
+func (s *Suite) Fig9() (*NormalizedSeries, error) {
+	return s.normalizedFigure("Fig 9: execution time normalized to Alloy",
+		hbm.ArchAlloy, hbm.Figure9Archs(),
+		func(r *sim.Result) float64 { return float64(r.Cycles) })
+}
+
+// Fig10 reproduces "Relative HBM cache energy" normalized to Alloy.
+func (s *Suite) Fig10() (*NormalizedSeries, error) {
+	return s.normalizedFigure("Fig 10: HBM cache energy normalized to Alloy",
+		hbm.ArchAlloy, hbm.Figure9Archs(),
+		func(r *sim.Result) float64 { return r.Energy.HBMCache() })
+}
+
+// Fig11 reproduces "Relative system energy" normalized to Alloy.
+func (s *Suite) Fig11() (*NormalizedSeries, error) {
+	return s.normalizedFigure("Fig 11: system energy normalized to Alloy",
+		hbm.ArchAlloy, hbm.Figure9Archs(),
+		func(r *sim.Result) float64 { return r.Energy.System() })
+}
+
+// Fig2aPoint is one topology design point of Fig 2(a), normalized to
+// No-HBM: relative transferred data (x), relative aggregate bandwidth
+// (y), and relative performance.
+type Fig2aPoint struct {
+	Arch    hbm.Arch
+	RelData float64
+	RelBW   float64
+	RelPerf float64 // speedup over No-HBM
+}
+
+// Fig2a reproduces the system-topology bandwidth-efficiency study.
+func (s *Suite) Fig2a() ([]Fig2aPoint, error) {
+	archs := []hbm.Arch{hbm.ArchNoHBM, hbm.ArchIdeal, hbm.ArchAlloy}
+	labels := s.Labels()
+	var keys []runKey
+	for _, w := range labels {
+		for _, a := range archs {
+			keys = append(keys, runKey{w, a, s.Sys.Granularity})
+		}
+	}
+	if err := s.runAll(keys); err != nil {
+		return nil, err
+	}
+	var out []Fig2aPoint
+	for _, a := range archs {
+		var data, bw, perf []float64
+		for _, w := range labels {
+			base, err := s.Result(w, hbm.ArchNoHBM)
+			if err != nil {
+				return nil, err
+			}
+			r, err := s.Result(w, a)
+			if err != nil {
+				return nil, err
+			}
+			data = append(data, float64(r.TransferredBytes())/float64(base.TransferredBytes()))
+			bw = append(bw, r.AggregateBandwidth()/base.AggregateBandwidth())
+			perf = append(perf, float64(base.Cycles)/float64(r.Cycles))
+		}
+		out = append(out, Fig2aPoint{
+			Arch: a, RelData: Geomean(data), RelBW: Geomean(bw), RelPerf: Geomean(perf),
+		})
+	}
+	return out, nil
+}
+
+// Fig2bPoint is one granularity design point of Fig 2(b), normalized to
+// the 64 B configuration of the Alloy-style HBM cache.
+type Fig2bPoint struct {
+	Granularity int
+	RelData     float64
+	RelBW       float64
+	RelPerf     float64
+	HitRate     float64 // absolute demand hit rate
+}
+
+// Fig2b reproduces the data-granularity study (64/128/256 B transfers).
+func (s *Suite) Fig2b() ([]Fig2bPoint, error) {
+	grans := []int{64, 128, 256}
+	labels := s.Labels()
+	var keys []runKey
+	for _, w := range labels {
+		for _, g := range grans {
+			keys = append(keys, runKey{w, hbm.ArchAlloy, g})
+		}
+	}
+	if err := s.runAll(keys); err != nil {
+		return nil, err
+	}
+	var out []Fig2bPoint
+	for _, g := range grans {
+		var data, bw, perf, hit []float64
+		for _, w := range labels {
+			base, err := s.resultG(w, hbm.ArchAlloy, 64)
+			if err != nil {
+				return nil, err
+			}
+			r, err := s.resultG(w, hbm.ArchAlloy, g)
+			if err != nil {
+				return nil, err
+			}
+			data = append(data, float64(r.TransferredBytes())/float64(base.TransferredBytes()))
+			bw = append(bw, r.AggregateBandwidth()/base.AggregateBandwidth())
+			perf = append(perf, float64(base.Cycles)/float64(r.Cycles))
+			hit = append(hit, r.Ctl.Demand.HitRate())
+		}
+		out = append(out, Fig2bPoint{
+			Granularity: g, RelData: Geomean(data), RelBW: Geomean(bw),
+			RelPerf: Geomean(perf), HitRate: mean(hit),
+		})
+	}
+	return out, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Fig3Result is one workload's homo-reuse histogram under No-HBM.
+type Fig3Result struct {
+	Workload string
+	Groups   []stats.Group
+	// PeakShare is the bandwidth-cost share of the busiest contiguous
+	// 20%-of-reuse-range window — the "narrow range of reuses" claim.
+	PeakShare float64
+}
+
+// Fig3Workloads are the four panels shown in the paper.
+var Fig3Workloads = []string{"LU", "MG", "RDX", "HIST"}
+
+// Fig3 reproduces the bandwidth-cost-vs-reuse histograms: each workload
+// runs on the No-HBM topology with a DDR observer attributing exact
+// interface cycles to blocks.
+func (s *Suite) Fig3(labels []string) ([]Fig3Result, error) {
+	if labels == nil {
+		labels = Fig3Workloads
+	}
+	var out []Fig3Result
+	for _, w := range labels {
+		t, err := s.traceFor(w)
+		if err != nil {
+			return nil, err
+		}
+		hist := stats.NewReuseHistogram()
+		opts := &sim.Options{
+			DDRObserver: func(txn *dram.Txn, rowHit bool, cycles int64) {
+				hist.Observe(uint64(txn.Addr.Block()), cycles)
+			},
+		}
+		cfg := *s.Sys
+		if _, err := sim.Run(&cfg, hbm.ArchNoHBM, t, opts); err != nil {
+			return nil, err
+		}
+		groups := hist.Groups()
+		sortGroups(groups)
+		out = append(out, Fig3Result{
+			Workload:  w,
+			Groups:    groups,
+			PeakShare: peakShare(groups),
+		})
+	}
+	return out, nil
+}
+
+// peakShare finds the largest bandwidth-cost share carried by a window
+// covering 20% of the observed reuse range.
+func peakShare(groups []stats.Group) float64 {
+	if len(groups) == 0 {
+		return 0
+	}
+	var total int64
+	maxReuse := groups[len(groups)-1].Reuses
+	for _, g := range groups {
+		total += g.Cost
+	}
+	if total == 0 {
+		return 0
+	}
+	win := maxReuse / 5
+	if win < 1 {
+		win = 1
+	}
+	best := int64(0)
+	for _, start := range groups {
+		var in int64
+		for _, g := range groups {
+			if g.Reuses >= start.Reuses && g.Reuses <= start.Reuses+win {
+				in += g.Cost
+			}
+		}
+		if in > best {
+			best = in
+		}
+	}
+	return float64(best) / float64(total)
+}
+
+// sortGroups is kept for deterministic output in reports.
+func sortGroups(gs []stats.Group) {
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Reuses < gs[j].Reuses })
+}

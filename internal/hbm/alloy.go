@@ -1,0 +1,106 @@
+package hbm
+
+import "redcache/internal/mem"
+
+// alloy is the Alloy Cache baseline (Qureshi & Loh, MICRO'12): a
+// direct-mapped DRAM cache storing tag-and-data (TAD) together, so one
+// HBM stream both checks the tag and returns the data.  Tags ride in
+// spare ECC bits, so a TAD probe costs one block-sized access.
+//
+// Flow per the RedCache paper's Fig 7 premise:
+//
+//	read  hit : 1 HBM read (TAD)                          -> data to L3
+//	read  miss: 1 HBM read + DDR4 fetch + HBM fill write;
+//	            dirty victims travel to DDR4 (their data arrived with
+//	            the TAD probe, so no extra HBM read is needed)
+//	write hit : 1 HBM read (probe) + 1 HBM write (turnaround)
+//	write miss: 1 HBM read + write-allocate (+ dirty victim to DDR4)
+//
+// The transfer granularity between DDR4 and HBM follows cfg.Granularity
+// (64/128/256 B, swept by Fig 2b); demand traffic to the CPU stays 64 B.
+type alloy struct {
+	ctlBase
+}
+
+func newAlloy(d deps) *alloy { return &alloy{ctlBase: newCtlBase(d)} }
+
+func (c *alloy) Name() Arch { return ArchAlloy }
+func (c *alloy) Drain()     {}
+
+func (c *alloy) Submit(req *mem.Request) {
+	if req.Type == mem.Write {
+		c.s.Writes++
+		c.handleWrite(req)
+		return
+	}
+	c.s.Reads++
+	c.handleRead(req)
+}
+
+func (c *alloy) handleRead(req *mem.Request) {
+	e, hit := c.tags.lookup(req.Addr)
+	c.s.TagProbes++
+	g := c.tags.granularity()
+	if hit {
+		c.s.Demand.Hits++
+		e.rcount = satInc(e.rcount)
+		e.lastWrite = false
+		c.d.hbm.Read(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+		return
+	}
+	c.s.Demand.Misses++
+	// The TAD probe still occupies the HBM bus (and returns the victim).
+	c.d.hbm.Read(req.Addr, mem.BlockSize, nil)
+	base := c.frameBase(req.Addr.Align())
+	c.d.ddr.Read(base, g, func(f int64) {
+		req.Complete(f)
+		// Fill after the data arrives (posted).
+		c.s.Fills++
+		if e.valid {
+			c.retire(e, true)
+		}
+		c.install(e, req.Addr)
+		c.d.hbm.Write(base, g, nil)
+	})
+}
+
+func (c *alloy) handleWrite(req *mem.Request) {
+	e, hit := c.tags.lookup(req.Addr)
+	c.s.TagProbes++
+	c.d.hbm.Read(req.Addr, mem.BlockSize, nil) // probe
+	if hit {
+		c.s.Demand.Hits++
+		e.rcount = satInc(e.rcount)
+		e.dirty = true
+		e.lastWrite = true
+		c.d.hbm.Write(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+		return
+	}
+	c.s.Demand.Misses++
+	// Write-allocate: a 64 B L3 writeback covers a whole 64 B frame; for
+	// coarser granularity the remainder is fetched from DDR4 first.
+	g := c.tags.granularity()
+	base := c.frameBase(req.Addr.Align())
+	install := func(int64) {
+		c.s.Fills++
+		if e.valid {
+			c.retire(e, true)
+		}
+		c.install(e, req.Addr)
+		e.dirty = true
+		e.lastWrite = true
+		c.d.hbm.Write(base, g, func(f int64) { req.Complete(f) })
+	}
+	if g > mem.BlockSize {
+		c.d.ddr.Read(base, g, install)
+	} else {
+		install(c.d.eng.Now())
+	}
+}
+
+func satInc(x uint8) uint8 {
+	if x == 255 {
+		return x
+	}
+	return x + 1
+}

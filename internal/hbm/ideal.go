@@ -1,0 +1,34 @@
+package hbm
+
+import "redcache/internal/mem"
+
+// ideal is the Fig 1(b) topology: a perfect HBM cache with a 100% hit
+// rate.  It never touches DDR4, but it still pays the tag-check
+// bandwidth: every request starts with a TAD read, and a write needs a
+// second HBM access after the bus turns around (Fig 7's premise that "a
+// single tag and data may be accessed per transfer").
+type ideal struct {
+	d deps
+	s Stats
+}
+
+func newIdeal(d deps) *ideal { return &ideal{d: d} }
+
+func (c *ideal) Name() Arch    { return ArchIdeal }
+func (c *ideal) Stats() *Stats { return &c.s }
+func (c *ideal) Drain()        {}
+
+func (c *ideal) Submit(req *mem.Request) {
+	c.s.TagProbes++
+	c.s.Demand.Hits++
+	if req.Type == mem.Write {
+		c.s.Writes++
+		// Tag-check read, then the data write.
+		c.d.hbm.Read(req.Addr, mem.BlockSize, func(int64) {
+			c.d.hbm.Write(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+		})
+		return
+	}
+	c.s.Reads++
+	c.d.hbm.Read(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+}

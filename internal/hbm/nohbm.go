@@ -1,0 +1,27 @@
+package hbm
+
+import "redcache/internal/mem"
+
+// noHBM is the Fig 1(a) reference topology: every L3 miss and writeback
+// goes straight to off-chip DDR4.
+type noHBM struct {
+	d deps
+	s Stats
+}
+
+func newNoHBM(d deps) *noHBM { return &noHBM{d: d} }
+
+func (c *noHBM) Name() Arch    { return ArchNoHBM }
+func (c *noHBM) Stats() *Stats { return &c.s }
+func (c *noHBM) Drain()        {}
+
+func (c *noHBM) Submit(req *mem.Request) {
+	c.s.DirectToMem++
+	if req.Type == mem.Write {
+		c.s.Writes++
+		c.d.ddr.Write(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+		return
+	}
+	c.s.Reads++
+	c.d.ddr.Read(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+}

@@ -1,0 +1,158 @@
+package hbm
+
+import (
+	"redcache/internal/dram"
+	"redcache/internal/mem"
+)
+
+// rcuManager implements the r-count update manager of §III-C: a 32-entry
+// CAM (block index, decoded DRAM location) plus RAM (the block with its
+// refreshed r-count) that defers the DRAM write needed to persist an
+// r-count after a read hit.  A queued update is persisted when
+//
+//  1. the command scheduler issues a demand write to the same DRAM row —
+//     the update piggybacks at tCCD cost instead of paying a bus
+//     turnaround (hooked into dram.Controller's WriteHook),
+//  2. the transaction queue of the entry's channel drains (IdleHook), or
+//  3. never: when the queue is full the oldest update is dropped.  The
+//     r-count in DRAM merely goes stale — the block looks younger than
+//     it is and γ invalidation fires later, a bounded heuristic error,
+//     not a correctness problem.  This is what keeps RedCache within a
+//     hair of Red-InSitu: most updates cost nothing at all.
+//
+// Demand writes to a queued block persist its count for free (the write
+// rewrites the whole TAD anyway), and because the RAM holds the 32 most
+// recently read blocks it doubles as a tiny block cache.
+type rcuEntry struct {
+	addr  mem.Addr
+	loc   dram.Location
+	count uint8
+}
+
+// rcUpdateBytes is the size of one persisted r-count update: a masked
+// write into the 8 B tag+ECC region of the TAD, not a full 64 B burst.
+const rcUpdateBytes = 8
+
+type rcuManager struct {
+	hbm     *dram.Controller
+	cap     int
+	entries []rcuEntry // FIFO by last touch, oldest first
+	st      *RCUStats
+	// persist applies a flushed count to the controller's tag state (the
+	// simulator's stand-in for DRAM contents).
+	persist func(addr mem.Addr, count uint8)
+}
+
+func newRCUManager(hbm *dram.Controller, capacity int, st *RCUStats,
+	persist func(mem.Addr, uint8)) *rcuManager {
+	return &rcuManager{hbm: hbm, cap: capacity, st: st, persist: persist}
+}
+
+// Len reports the number of pending updates.
+func (r *rcuManager) Len() int { return len(r.entries) }
+
+// find returns the index of addr's entry, or -1.
+func (r *rcuManager) find(addr mem.Addr) int {
+	for i := range r.entries {
+		if r.entries[i].addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// put registers (or refreshes) a deferred r-count update.  When the
+// queue is full the oldest pending update is dropped — its count stays
+// stale in DRAM.
+func (r *rcuManager) put(addr mem.Addr, count uint8) {
+	addr = addr.Align()
+	if i := r.find(addr); i >= 0 {
+		// Refresh in place and move to MRU position.
+		e := r.entries[i]
+		e.count = count
+		copy(r.entries[i:], r.entries[i+1:])
+		r.entries[len(r.entries)-1] = e
+		return
+	}
+	if len(r.entries) >= r.cap {
+		r.st.Dropped++
+		copy(r.entries, r.entries[1:])
+		r.entries = r.entries[:len(r.entries)-1]
+	}
+	r.st.Enqueued++
+	r.entries = append(r.entries, rcuEntry{addr: addr, loc: r.hbm.Map(addr), count: count})
+}
+
+// lookup returns the pending count for addr, if any.
+func (r *rcuManager) lookup(addr mem.Addr) (count uint8, ok bool) {
+	if i := r.find(addr.Align()); i >= 0 {
+		return r.entries[i].count, true
+	}
+	return 0, false
+}
+
+// onWrite is the dram.WriteHook: when a demand write column command
+// issues to loc, same-row pending updates piggyback onto the burst and
+// are persisted.  It returns the extra bytes appended to the transfer.
+func (r *rcuManager) onWrite(loc dram.Location) int {
+	n := 0
+	kept := r.entries[:0]
+	for _, e := range r.entries {
+		if e.loc.SameRow(loc) {
+			n++
+			r.st.Piggyback++
+			r.persist(e.addr, e.count)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	r.entries = kept
+	return n * rcUpdateBytes
+}
+
+// onIdle is the dram.IdleHook: the channel's transaction queue drained,
+// so pending updates on that channel can persist cheaply.  Flushing is
+// gated on queue pressure — below half capacity the updates stay put,
+// since an aged-out update merely goes stale while every flush write
+// still activates a row the next demand access may have to close.
+func (r *rcuManager) onIdle(ch int) {
+	if len(r.entries) <= r.cap/2 {
+		return
+	}
+	kept := r.entries[:0]
+	budget := len(r.entries) - r.cap/2
+	for _, e := range r.entries {
+		if budget > 0 && e.loc.Channel == ch {
+			r.st.IdleFlush++
+			r.persist(e.addr, e.count)
+			r.hbm.Write(e.addr, rcUpdateBytes, nil)
+			budget--
+			continue
+		}
+		kept = append(kept, e)
+	}
+	r.entries = kept
+}
+
+// dropBlock removes a pending update for addr, returning its count: a
+// demand write to the block carries the fresh count for free, and a
+// departing block's update must not clobber the frame's next resident.
+func (r *rcuManager) dropBlock(addr mem.Addr) (count uint8, ok bool) {
+	if i := r.find(addr.Align()); i >= 0 {
+		count = r.entries[i].count
+		r.entries = append(r.entries[:i], r.entries[i+1:]...)
+		r.st.Merged++
+		return count, true
+	}
+	return 0, false
+}
+
+// drain persists everything at end of run.
+func (r *rcuManager) drain() {
+	for _, e := range r.entries {
+		r.st.DrainFlush++
+		r.persist(e.addr, e.count)
+		r.hbm.Write(e.addr, rcUpdateBytes, nil)
+	}
+	r.entries = nil
+}

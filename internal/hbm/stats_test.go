@@ -1,0 +1,62 @@
+package hbm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"redcache/internal/mem"
+)
+
+func TestRCUFreeShare(t *testing.T) {
+	r := &RCUStats{Enqueued: 100, Piggyback: 20, Merged: 30, Dropped: 45,
+		IdleFlush: 5}
+	if got := r.FreeShare(); got != 0.95 {
+		t.Fatalf("free share = %f, want 0.95", got)
+	}
+	if (&RCUStats{}).FreeShare() != 0 {
+		t.Fatal("empty stats should report 0")
+	}
+}
+
+func TestLastWriteShare(t *testing.T) {
+	s := &Stats{LastEvictWrite: 3, LastEvictTotal: 4}
+	if got := s.LastWriteShare(); got != 0.75 {
+		t.Fatalf("share = %f, want 0.75", got)
+	}
+	if (&Stats{}).LastWriteShare() != 0 {
+		t.Fatal("empty stats should report 0")
+	}
+}
+
+func TestSatInc(t *testing.T) {
+	if satInc(0) != 1 || satInc(254) != 255 || satInc(255) != 255 {
+		t.Fatal("satInc wrong")
+	}
+	// Property: satInc never wraps and never decreases.
+	f := func(x uint8) bool {
+		y := satInc(x)
+		return y >= x && (y == x+1 || x == 255)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTagStoreFrameBijection: within one cache's address span, distinct
+// frames never alias, and frame+tag uniquely identify a block.
+func TestTagStoreFrameBijection(t *testing.T) {
+	ts := newTagStore(1<<18, 64)
+	f := func(a, b uint32) bool {
+		x := mem.Addr(a).Align()
+		y := mem.Addr(b).Align()
+		ix, tx := ts.frame(x)
+		iy, ty := ts.frame(y)
+		if x == y {
+			return ix == iy && tx == ty
+		}
+		return ix != iy || tx != ty
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockAndPageMath(t *testing.T) {
+	cases := []struct {
+		addr  Addr
+		block BlockID
+		page  PageID
+	}{
+		{0, 0, 0},
+		{63, 0, 0},
+		{64, 1, 0},
+		{4095, 63, 0},
+		{4096, 64, 1},
+		{1<<20 + 65, (1<<20 + 65) / 64, (1<<20 + 65) / 4096},
+	}
+	for _, c := range cases {
+		if got := c.addr.Block(); got != c.block {
+			t.Errorf("%#x.Block() = %d, want %d", uint64(c.addr), got, c.block)
+		}
+		if got := c.addr.Page(); got != c.page {
+			t.Errorf("%#x.Page() = %d, want %d", uint64(c.addr), got, c.page)
+		}
+	}
+}
+
+func TestConstantsAreConsistent(t *testing.T) {
+	if BlockSize != 64 || PageSize != 4096 {
+		t.Fatalf("block/page sizes changed: %d/%d", BlockSize, PageSize)
+	}
+	if BlocksPerPage != 64 {
+		t.Fatalf("BlocksPerPage = %d, want 64", BlocksPerPage)
+	}
+}
+
+func TestAlignProperties(t *testing.T) {
+	f := func(a Addr) bool {
+		al := a.Align()
+		return al.BlockAligned() && al <= a && a-al < BlockSize && al.Block() == a.Block()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockPageRoundTrip(t *testing.T) {
+	f := func(b BlockID) bool {
+		b &= 1<<50 - 1 // keep addresses in range
+		if b.Addr().Block() != b {
+			return false
+		}
+		return b.Page() == b.Addr().Page()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageAddr(t *testing.T) {
+	f := func(p PageID) bool {
+		p &= 1<<40 - 1
+		a := p.Addr()
+		return a.Page() == p && a%PageSize == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessTypeString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Error("AccessType strings changed")
+	}
+	if Read.IsWrite() || !Write.IsWrite() {
+		t.Error("IsWrite wrong")
+	}
+	if AccessType(9).String() == "" {
+		t.Error("unknown AccessType should still format")
+	}
+}
+
+func TestRequestCompleteFiresOnce(t *testing.T) {
+	n := 0
+	r := &Request{Addr: 64, Type: Read, Done: func(int64) { n++ }}
+	r.Complete(10)
+	r.Complete(20)
+	if n != 1 {
+		t.Fatalf("Done fired %d times, want 1", n)
+	}
+}
+
+func TestRequestCompleteNilDone(t *testing.T) {
+	r := &Request{Addr: 64, Type: Write}
+	r.Complete(5) // must not panic
+	if r.String() == "" {
+		t.Error("String should format")
+	}
+}

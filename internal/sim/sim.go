@@ -1,0 +1,143 @@
+// Package sim wires a complete simulated machine — cores, SRAM cache
+// hierarchy, a DRAM-cache controller, and the WideIO/DDR4 channel
+// models — and runs one workload trace to completion.
+package sim
+
+import (
+	"fmt"
+
+	"redcache/internal/config"
+	"redcache/internal/cpu"
+	"redcache/internal/dram"
+	"redcache/internal/energy"
+	"redcache/internal/engine"
+	"redcache/internal/hbm"
+	"redcache/internal/mem"
+	"redcache/internal/stats"
+	"redcache/internal/trace"
+)
+
+// Result captures everything the experiment harnesses report about one
+// (workload, architecture) run.
+type Result struct {
+	Arch     hbm.Arch
+	Workload string
+
+	Cycles       int64 // execution time: last core retirement
+	Instructions int64
+
+	HBMIface stats.Interface // zero-valued for No-HBM
+	DDRIface stats.Interface
+	Ctl      hbm.Stats
+	L3       stats.CacheStats
+	Energy   energy.Breakdown
+}
+
+// Seconds converts cycles to wall time at the configured frequency.
+func (r *Result) Seconds(cfg *config.System) float64 {
+	return float64(r.Cycles) / (cfg.CPU.FreqGHz * 1e9)
+}
+
+// TransferredBytes is the total data moved over both interfaces — the x
+// axis of Fig 2.
+func (r *Result) TransferredBytes() int64 {
+	return r.HBMIface.TotalBytes() + r.DDRIface.TotalBytes()
+}
+
+// AggregateBandwidth is the summed interface bandwidth in bytes/cycle —
+// the y axis of Fig 2.
+func (r *Result) AggregateBandwidth() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.TransferredBytes()) / float64(r.Cycles)
+}
+
+// IPC reports retired instructions per cycle across the machine.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Options tweak a run.
+type Options struct {
+	// DDRObserver, when set, receives per-transaction service details of
+	// main-memory accesses (the Fig 3 homo-reuse harness).
+	DDRObserver dram.Observer
+	// MaxCycles aborts runaway simulations; 0 means no limit.
+	MaxCycles int64
+}
+
+// Run simulates the trace on the given architecture and returns the
+// collected results.
+func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Cores() == 0 {
+		return nil, fmt.Errorf("sim: trace %q has no streams", t.Name)
+	}
+	if opts == nil {
+		opts = &Options{}
+	}
+
+	eng := engine.New()
+	res := &Result{Arch: arch, Workload: t.Name}
+	res.HBMIface.Name = "WideIO"
+	res.DDRIface.Name = "DDRx"
+
+	var hbmCtl *dram.Controller
+	if arch != hbm.ArchNoHBM {
+		hbmCtl = dram.NewController(eng, cfg.HBM, &res.HBMIface)
+	}
+	ddrCtl := dram.NewController(eng, cfg.MainMem, &res.DDRIface)
+	if opts.DDRObserver != nil {
+		ddrCtl.SetObserver(opts.DDRObserver)
+	}
+
+	ctl, err := hbm.New(arch, eng, cfg, hbmCtl, ddrCtl)
+	if err != nil {
+		return nil, err
+	}
+
+	cx := cpu.NewComplex(eng, cfg, t, submitFunc(func(req *mem.Request) { ctl.Submit(req) }))
+	cx.Start()
+
+	if opts.MaxCycles > 0 {
+		// Translate the cycle bound into a generous event bound: every
+		// component schedules O(1) events per cycle of useful work.
+		eng.Limit = uint64(opts.MaxCycles)
+	}
+	eng.Run()
+	if cx.AllDoneAt < 0 {
+		return nil, fmt.Errorf("sim: %s/%s deadlocked with %d events fired", t.Name, arch, eng.Fired)
+	}
+
+	ctl.Drain()
+	eng.Run() // let the drain traffic settle
+
+	res.Cycles = cx.AllDoneAt
+	res.Instructions = cx.Instructions()
+	res.Ctl = *ctl.Stats()
+	res.L3 = *cx.Hier.L3Stats()
+
+	in := energy.Inputs{
+		Cycles:      res.Cycles,
+		DDR:         &res.DDRIface,
+		SRAMAccess:  res.Ctl.SRAMAccess,
+		InSituCount: res.Ctl.InSitu,
+	}
+	if arch != hbm.ArchNoHBM {
+		in.HBM = &res.HBMIface
+	}
+	res.Energy = energy.Compute(cfg, in)
+	return res, nil
+}
+
+// submitFunc adapts a function to cpu.Submitter.
+type submitFunc func(*mem.Request)
+
+// Submit implements cpu.Submitter.
+func (f submitFunc) Submit(req *mem.Request) { f(req) }

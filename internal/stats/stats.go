@@ -1,0 +1,186 @@
+// Package stats collects the measurements the paper reports: interface
+// traffic and bandwidth, cache hit rates, homo-reuse histograms (Fig 3/4),
+// and the last-access-type breakdown (§II-C).
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a simple named event counter.
+type Counter struct {
+	n int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Interface accumulates traffic on one memory interface (WideIO or DDRx).
+type Interface struct {
+	Name       string
+	ReadBytes  int64
+	WriteBytes int64
+	BusyCycles int64 // cycles the data bus carried data
+	Requests   int64
+	RowHits    int64
+	RowMisses  int64
+	Activates  int64
+	Refreshes  int64
+}
+
+// TotalBytes is all data moved over the interface.
+func (i *Interface) TotalBytes() int64 { return i.ReadBytes + i.WriteBytes }
+
+// RowHitRate reports the fraction of column accesses that hit an open row.
+func (i *Interface) RowHitRate() float64 {
+	t := i.RowHits + i.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(i.RowHits) / float64(t)
+}
+
+// BandwidthUtil reports the fraction of elapsed cycles the bus was busy.
+func (i *Interface) BandwidthUtil(elapsed int64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(i.BusyCycles) / float64(elapsed)
+}
+
+// CacheStats counts hits and misses for one cache structure.
+type CacheStats struct {
+	Hits, Misses int64
+	Evictions    int64
+	DirtyEvicts  int64
+}
+
+// Accesses is Hits+Misses.
+func (c *CacheStats) Accesses() int64 { return c.Hits + c.Misses }
+
+// HitRate is Hits / (Hits+Misses), 0 when untouched.
+func (c *CacheStats) HitRate() float64 {
+	if t := c.Accesses(); t > 0 {
+		return float64(c.Hits) / float64(t)
+	}
+	return 0
+}
+
+// ReuseHistogram groups blocks by their total number of reuses
+// ("homo-reuse groups", §II-B) and accumulates the off-chip bandwidth
+// cost attributable to each group.  Bandwidth cost is measured, as in the
+// paper, in exact DDRx data-bus cycles consumed serving the block.
+type ReuseHistogram struct {
+	reuse map[uint64]int64 // block -> access count
+	cost  map[uint64]int64 // block -> accumulated bus cycles
+}
+
+// NewReuseHistogram returns an empty histogram.
+func NewReuseHistogram() *ReuseHistogram {
+	return &ReuseHistogram{reuse: make(map[uint64]int64), cost: make(map[uint64]int64)}
+}
+
+// Observe records one access to block with the given bus-cycle cost.
+func (h *ReuseHistogram) Observe(block uint64, busCycles int64) {
+	h.reuse[block]++
+	h.cost[block] += busCycles
+}
+
+// Blocks reports the number of distinct blocks observed.
+func (h *ReuseHistogram) Blocks() int { return len(h.reuse) }
+
+// TotalAccesses reports the number of Observe calls.
+func (h *ReuseHistogram) TotalAccesses() int64 {
+	var n int64
+	for _, c := range h.reuse {
+		n += c
+	}
+	return n
+}
+
+// Group is one homo-reuse group: all blocks with the same reuse count.
+type Group struct {
+	Reuses     int64 // accesses per block in this group (x axis of Fig 3)
+	BlockCount int64
+	Cost       int64 // aggregate bus cycles (y axis of Fig 3)
+}
+
+// Groups returns homo-reuse groups sorted by reuse count.  A block with
+// n accesses has n-1 reuses; the paper plots groups by reuse count.
+func (h *ReuseHistogram) Groups() []Group {
+	agg := make(map[int64]*Group)
+	for b, accesses := range h.reuse {
+		reuses := accesses - 1
+		g := agg[reuses]
+		if g == nil {
+			g = &Group{Reuses: reuses}
+			agg[reuses] = g
+		}
+		g.BlockCount++
+		g.Cost += h.cost[b]
+	}
+	out := make([]Group, 0, len(agg))
+	for _, g := range agg {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Reuses < out[j].Reuses })
+	return out
+}
+
+// CostShareAbove returns the fraction of total bandwidth cost carried by
+// groups with reuse count in [lo, hi] — used to verify the paper's claim
+// that a narrow reuse range dominates the cost.
+func (h *ReuseHistogram) CostShareAbove(lo, hi int64) float64 {
+	var in, total int64
+	for _, g := range h.Groups() {
+		total += g.Cost
+		if g.Reuses >= lo && g.Reuses <= hi {
+			in += g.Cost
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(in) / float64(total)
+}
+
+// LastAccess tracks, per block, the type of the most recent access so the
+// §II-C statistic (share of blocks whose *last* access is a write) can be
+// computed at end of simulation.
+type LastAccess struct {
+	last map[uint64]bool // block -> last access was a write
+}
+
+// NewLastAccess returns an empty tracker.
+func NewLastAccess() *LastAccess { return &LastAccess{last: make(map[uint64]bool)} }
+
+// Observe records an access to block.
+func (l *LastAccess) Observe(block uint64, isWrite bool) { l.last[block] = isWrite }
+
+// WriteShare reports the fraction of observed blocks whose final access
+// was a write (the paper reports >82% for HBM-resident blocks).
+func (l *LastAccess) WriteShare() float64 {
+	if len(l.last) == 0 {
+		return 0
+	}
+	var w int
+	for _, isW := range l.last {
+		if isW {
+			w++
+		}
+	}
+	return float64(w) / float64(len(l.last))
+}
+
+// Blocks reports how many distinct blocks were observed.
+func (l *LastAccess) Blocks() int { return len(l.last) }
+
+// Fmt renders a ratio as a percentage string for reports.
+func Fmt(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

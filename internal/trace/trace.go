@@ -1,0 +1,245 @@
+// Package trace defines the block-granular memory trace format the
+// workload generators emit and the CPU model consumes, plus a compact
+// binary file codec and trace-analysis helpers (footprint, reuse CDF).
+//
+// A record is one memory operation preceded by a count of non-memory
+// instructions ("gap"); the CPU model retires the gap at its issue width
+// and then performs the access.  Traces are block-granular (64 B): the
+// generators coalesce consecutive touches to the same block, which is
+// the standard granularity for memory-system studies (DESIGN.md §2).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"redcache/internal/mem"
+)
+
+// Record is one traced memory operation.
+type Record struct {
+	Gap   uint16 // non-memory instructions before this access
+	Write bool
+	Addr  mem.Addr
+}
+
+// Stream is one core's trace.
+type Stream []Record
+
+// Trace is a complete parallel-program trace, one stream per core.
+type Trace struct {
+	Name    string
+	Streams []Stream
+}
+
+// Cores reports the number of per-core streams.
+func (t *Trace) Cores() int { return len(t.Streams) }
+
+// Records reports the total number of records across all streams.
+func (t *Trace) Records() int {
+	n := 0
+	for _, s := range t.Streams {
+		n += len(s)
+	}
+	return n
+}
+
+// Footprint reports the number of distinct 64 B blocks touched.
+func (t *Trace) Footprint() int {
+	seen := make(map[mem.BlockID]struct{})
+	for _, s := range t.Streams {
+		for _, r := range s {
+			seen[r.Addr.Block()] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// FootprintBytes is Footprint() in bytes.
+func (t *Trace) FootprintBytes() int64 { return int64(t.Footprint()) * mem.BlockSize }
+
+// WriteShare reports the fraction of records that are writes.
+func (t *Trace) WriteShare() float64 {
+	var w, n int
+	for _, s := range t.Streams {
+		for _, r := range s {
+			n++
+			if r.Write {
+				w++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(w) / float64(n)
+}
+
+// ReuseCounts returns accesses per distinct block.
+func (t *Trace) ReuseCounts() map[mem.BlockID]int {
+	m := make(map[mem.BlockID]int)
+	for _, s := range t.Streams {
+		for _, r := range s {
+			m[r.Addr.Block()]++
+		}
+	}
+	return m
+}
+
+// Builder accumulates a per-core stream with gap tracking and
+// consecutive-same-block coalescing.
+type Builder struct {
+	stream    Stream
+	gap       uint32
+	lastBlock mem.BlockID
+	lastValid bool
+	lastWrite bool
+}
+
+// Work adds n non-memory instructions before the next access.
+func (b *Builder) Work(n int) { b.gap += uint32(n) }
+
+// Load records a read of addr.
+func (b *Builder) Load(addr mem.Addr) { b.access(addr, false) }
+
+// Store records a write of addr.
+func (b *Builder) Store(addr mem.Addr) { b.access(addr, true) }
+
+func (b *Builder) access(addr mem.Addr, write bool) {
+	blk := addr.Block()
+	// Coalesce immediate same-block repetitions (they would hit L1
+	// anyway); a write upgrades the coalesced record.
+	if b.lastValid && blk == b.lastBlock && b.gap == 0 {
+		if write && !b.lastWrite {
+			b.stream[len(b.stream)-1].Write = true
+			b.lastWrite = true
+		}
+		return
+	}
+	for b.gap > 0 {
+		g := b.gap
+		if g > 65535 {
+			// Split oversized gaps into empty-gap filler on the same
+			// block; cap keeps Record compact.
+			g = 65535
+		}
+		b.gap -= g
+		if b.gap > 0 {
+			// Emit an extra read to carry the overflow gap.
+			b.stream = append(b.stream, Record{Gap: uint16(g), Addr: blk.Addr()})
+			continue
+		}
+		b.stream = append(b.stream, Record{Gap: uint16(g), Write: write, Addr: blk.Addr()})
+		b.lastBlock, b.lastValid, b.lastWrite = blk, true, write
+		return
+	}
+	b.stream = append(b.stream, Record{Write: write, Addr: blk.Addr()})
+	b.lastBlock, b.lastValid, b.lastWrite = blk, true, write
+}
+
+// Stream returns the built stream.
+func (b *Builder) Stream() Stream { return b.stream }
+
+// Len reports the number of records built so far.
+func (b *Builder) Len() int { return len(b.stream) }
+
+// Binary trace file format:
+//
+//	magic "RCT1" | uint32 cores | name (uint16 len + bytes)
+//	per stream: uint64 count, then count records of
+//	    uint16 gap | uint8 flags | uint64 addr  (little endian)
+var magic = [4]byte{'R', 'C', 'T', '1'}
+
+// Encode writes t to w in the binary trace format.
+func Encode(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if len(t.Name) > 65535 {
+		return errors.New("trace: name too long")
+	}
+	var hdr [6]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(t.Streams)))
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(len(t.Name)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	var rec [11]byte
+	for _, s := range t.Streams {
+		var cnt [8]byte
+		binary.LittleEndian.PutUint64(cnt[:], uint64(len(s)))
+		if _, err := bw.Write(cnt[:]); err != nil {
+			return err
+		}
+		for _, r := range s {
+			binary.LittleEndian.PutUint16(rec[0:2], r.Gap)
+			if r.Write {
+				rec[2] = 1
+			} else {
+				rec[2] = 0
+			}
+			binary.LittleEndian.PutUint64(rec[3:], uint64(r.Addr))
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace in the binary format produced by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	var hdr [6]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	cores := binary.LittleEndian.Uint32(hdr[:4])
+	nameLen := binary.LittleEndian.Uint16(hdr[4:])
+	if cores > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible core count %d", cores)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: string(name), Streams: make([]Stream, cores)}
+	var rec [11]byte
+	for i := range t.Streams {
+		var cnt [8]byte
+		if _, err := io.ReadFull(br, cnt[:]); err != nil {
+			return nil, err
+		}
+		n := binary.LittleEndian.Uint64(cnt[:])
+		if n > 1<<32 {
+			return nil, fmt.Errorf("trace: implausible record count %d", n)
+		}
+		s := make(Stream, n)
+		for j := range s {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return nil, err
+			}
+			s[j] = Record{
+				Gap:   binary.LittleEndian.Uint16(rec[0:2]),
+				Write: rec[2] != 0,
+				Addr:  mem.Addr(binary.LittleEndian.Uint64(rec[3:])),
+			}
+		}
+		t.Streams[i] = s
+	}
+	return t, nil
+}

@@ -1,0 +1,190 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"redcache/internal/mem"
+	"redcache/internal/trace"
+)
+
+// FT models the NAS Fourier Transform: a 3D complex grid transformed
+// once along each dimension per iteration.  Lines along x are contiguous
+// (good locality); lines along y and z stride by a row and a plane
+// respectively, producing the conflict-prone strided traffic the paper's
+// fine-grained caching targets.  A small twiddle-factor table is reused
+// heavily.  Four complex values (16 B) share a 64 B block, so strided
+// dimensions are walked four lines at a time, as a blocked FT
+// implementation would.
+func FT(cores int, sc Scale, seed int64) *trace.Trace {
+	nx := pick(sc, 8, 64, 64)
+	ny := pick(sc, 8, 64, 64)
+	nz := pick(sc, 8, 32, 128)
+	iters := pick(sc, 1, 1, 2)
+
+	g := newGen(cores)
+	const elem = 16 // complex128
+	grid := g.region(int64(nx*ny*nz) * elem)
+	twiddle := g.region(64 << 10)
+
+	at := func(x, y, z int) mem.Addr {
+		return grid + mem.Addr(((z*ny+y)*nx+x)*elem)
+	}
+
+	for it := 0; it < iters; it++ {
+		// Dimension x: contiguous lines, one line per (y,z).
+		for c := 0; c < cores; c++ {
+			b := g.b[c]
+			lo, hi := split(ny*nz, cores, c)
+			for yz := lo; yz < hi; yz++ {
+				y, z := yz%ny, yz/ny
+				for x := 0; x < nx; x += 4 {
+					work(b, 24)
+					b.Load(twiddle + mem.Addr((x*97)&0xFFC0))
+					b.Load(at(x, y, z))
+					b.Store(at(x, y, z))
+				}
+			}
+		}
+		// Dimension y: stride nx*elem, four x-lanes per block.
+		for c := 0; c < cores; c++ {
+			b := g.b[c]
+			lo, hi := split(nx/4*nz, cores, c)
+			for xz := lo; xz < hi; xz++ {
+				x, z := (xz%(nx/4))*4, xz/(nx/4)
+				for y := 0; y < ny; y++ {
+					work(b, 24)
+					b.Load(at(x, y, z))
+					b.Store(at(x, y, z))
+				}
+			}
+		}
+		// Dimension z: stride nx*ny*elem (a full plane).
+		for c := 0; c < cores; c++ {
+			b := g.b[c]
+			lo, hi := split(nx/4*ny, cores, c)
+			for xy := lo; xy < hi; xy++ {
+				x, y := (xy%(nx/4))*4, xy/(nx/4)
+				for z := 0; z < nz; z++ {
+					work(b, 24)
+					b.Load(at(x, y, z))
+					b.Store(at(x, y, z))
+				}
+			}
+		}
+	}
+	return g.trace("FT")
+}
+
+// IS models the NAS Integer Sort: counting sort over random keys.  The
+// key array streams sequentially; the bucket array is hammered with
+// data-dependent random accesses; a final permutation scatters keys into
+// the output array at each key's rank.
+func IS(cores int, sc Scale, seed int64) *trace.Trace {
+	keys := pick(sc, 4<<10, 192<<10, 512<<10)
+	buckets := pick(sc, 1<<10, 192<<10, 512<<10)
+
+	g := newGen(cores)
+	keyArr := g.region(int64(keys) * 4)
+	bucketArr := g.region(int64(buckets) * 4)
+	outArr := g.region(int64(keys) * 4)
+
+	rng := rand.New(rand.NewSource(seed))
+	keyVals := make([]int, keys)
+	for i := range keyVals {
+		keyVals[i] = rng.Intn(buckets)
+	}
+
+	for c := 0; c < cores; c++ {
+		b := g.b[c]
+		lo, hi := split(keys, cores, c)
+		// Counting phase: block-granular sequential key reads, random
+		// bucket updates for every key.
+		for i := lo; i < hi; i++ {
+			if i%16 == 0 {
+				work(b, 8)
+				b.Load(keyArr + mem.Addr(i/16*64))
+			}
+			work(b, 6)
+			ba := bucketArr + mem.Addr(keyVals[i]*4)
+			b.Load(ba)
+			b.Store(ba)
+		}
+		// Rank phase: each core scans its bucket share (prefix sums).
+		blo, bhi := split(buckets, cores, c)
+		for i := blo; i < bhi; i++ {
+			work(b, 4)
+			b.Load(bucketArr + mem.Addr(i*4))
+		}
+		// Permutation phase: read keys in order, scatter into output.
+		for i := lo; i < hi; i++ {
+			if i%16 == 0 {
+				work(b, 8)
+				b.Load(keyArr + mem.Addr(i/16*64))
+			}
+			work(b, 6)
+			// Rank of key k grows with k: the scatter lands near the
+			// key-proportional position, as in a real counting sort.
+			pos := keyVals[i]*keys/buckets + i%16
+			if pos >= keys {
+				pos = keys - 1
+			}
+			b.Store(outArr + mem.Addr(pos*4))
+		}
+	}
+	return g.trace("IS")
+}
+
+// MG models the NAS Multi-Grid kernel: V-cycles over a hierarchy of 3D
+// grids.  Fine grids stream with 7-point-stencil neighbor traffic; the
+// small coarse grids are revisited every cycle and become the
+// bandwidth-hungry high-reuse blocks RedCache wants resident.
+func MG(cores int, sc Scale, seed int64) *trace.Trace {
+	n0 := pick(sc, 8, 64, 88) // finest grid edge (n0^3 doubles)
+	levels := pick(sc, 2, 3, 4)
+	cycles := pick(sc, 1, 2, 2)
+
+	g := newGen(cores)
+	type grid struct {
+		base mem.Addr
+		n    int
+	}
+	var grids []grid
+	for l, n := 0, n0; l < levels && n >= 4; l, n = l+1, n/2 {
+		grids = append(grids, grid{g.region(int64(n*n*n) * 8), n})
+	}
+
+	sweep := func(gr grid) {
+		n := gr.n
+		rowB := n * 8
+		planeB := n * n * 8
+		for c := 0; c < cores; c++ {
+			b := g.b[c]
+			lo, hi := split(n*n, cores, c)
+			for yz := lo; yz < hi; yz++ {
+				y, z := yz%n, yz/n
+				row := gr.base + mem.Addr(z*planeB+y*rowB)
+				for x := 0; x < n*8; x += mem.BlockSize {
+					work(b, 32)
+					b.Load(row + mem.Addr(x)) // center (coalesces x-neighbors)
+					if y > 0 {
+						b.Load(row - mem.Addr(rowB) + mem.Addr(x))
+					}
+					if z > 0 {
+						b.Load(row - mem.Addr(planeB) + mem.Addr(x))
+					}
+					b.Store(row + mem.Addr(x))
+				}
+			}
+		}
+	}
+
+	for v := 0; v < cycles; v++ {
+		for l := 0; l < len(grids); l++ { // restriction leg
+			sweep(grids[l])
+		}
+		for l := len(grids) - 1; l >= 0; l-- { // prolongation leg
+			sweep(grids[l])
+		}
+	}
+	return g.trace("MG")
+}

@@ -1,0 +1,61 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"redcache/internal/mem"
+	"redcache/internal/trace"
+)
+
+// HIST models Phoenix Histogram: a single streaming pass over a large
+// file computing three 256-bin color histograms.  Nearly all off-chip
+// traffic is single-use (the Fig 3 HIST panel: a tall bandwidth spike at
+// very low reuse counts), while the bins stay cache-resident.
+func HIST(cores int, sc Scale, seed int64) *trace.Trace {
+	fileMB := pick(sc, 1, 6, 12)
+	g := newGen(cores)
+	fileB := int64(fileMB) << 20
+	file := g.region(fileB)
+	bins := g.region(3 * 256 * 4)
+
+	blocks := int(fileB / mem.BlockSize)
+	rng := rand.New(rand.NewSource(seed))
+	for c := 0; c < cores; c++ {
+		b := g.b[c]
+		lo, hi := split(blocks, cores, c)
+		for i := lo; i < hi; i++ {
+			work(b, 48) // 64 pixels classified per block
+			b.Load(file + mem.Addr(i*mem.BlockSize))
+			// One sampled bin update per block escapes the L1.
+			bin := rng.Intn(3*256) * 4
+			b.Store(bins + mem.Addr(bin))
+		}
+	}
+	return g.trace("HIST")
+}
+
+// LREG models Phoenix Linear Regression: a pure streaming reduction over
+// a key file accumulating five running sums.  The quintessential L-type
+// workload: every block is touched once and caching it is pure overhead.
+func LREG(cores int, sc Scale, seed int64) *trace.Trace {
+	fileMB := pick(sc, 1, 4, 8)
+	g := newGen(cores)
+	fileB := int64(fileMB) << 20
+	file := g.region(fileB)
+	acc := g.region(4096)
+
+	blocks := int(fileB / mem.BlockSize)
+	for c := 0; c < cores; c++ {
+		b := g.b[c]
+		lo, hi := split(blocks, cores, c)
+		for i := lo; i < hi; i++ {
+			work(b, 36)
+			b.Load(file + mem.Addr(i*mem.BlockSize))
+			if i%64 == 0 {
+				// Partial sums spill periodically.
+				b.Store(acc + mem.Addr((c%8)*mem.BlockSize))
+			}
+		}
+	}
+	return g.trace("LREG")
+}

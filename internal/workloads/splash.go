@@ -1,0 +1,306 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"redcache/internal/mem"
+	"redcache/internal/trace"
+)
+
+// blockedMatrix walks the 64 B cache blocks of one BxB tile of a dense
+// row-major matrix of doubles.
+type blockedMatrix struct {
+	base mem.Addr
+	n    int // matrix edge in elements
+	bs   int // tile edge in elements
+}
+
+func (m blockedMatrix) tile(bi, bj int, f func(addr mem.Addr)) {
+	for r := 0; r < m.bs; r++ {
+		row := m.base + mem.Addr(((bi*m.bs+r)*m.n+bj*m.bs)*8)
+		for c := 0; c < m.bs*8; c += mem.BlockSize {
+			f(row + mem.Addr(c))
+		}
+	}
+}
+
+// CH models SPLASH-2 Cholesky (supernodal factorization of tk29.0): a
+// blocked left-looking Cholesky schedule.  Panel tiles are read by every
+// trailing update to their right, giving the narrow high-reuse band the
+// paper's Fig 3 histograms show.
+func CH(cores int, sc Scale, seed int64) *trace.Trace {
+	n := pick(sc, 128, 768, 1280)
+	bs := pick(sc, 32, 64, 128)
+	nb := n / bs
+
+	g := newGen(cores)
+	m := blockedMatrix{g.region(int64(n*n) * 8), n, bs}
+
+	task := 0
+	for k := 0; k < nb; k++ {
+		// Factor the diagonal tile.
+		b := g.b[task%cores]
+		task++
+		m.tile(k, k, func(a mem.Addr) { work(b, 40); b.Load(a); b.Store(a) })
+		// Panel solve: column tiles below the diagonal.
+		for i := k + 1; i < nb; i++ {
+			b := g.b[task%cores]
+			task++
+			m.tile(k, k, func(a mem.Addr) { work(b, 8); b.Load(a) })
+			m.tile(i, k, func(a mem.Addr) { work(b, 24); b.Load(a); b.Store(a) })
+		}
+		// Trailing update: lower triangle only (symmetric).
+		for j := k + 1; j < nb; j++ {
+			for i := j; i < nb; i++ {
+				b := g.b[task%cores]
+				task++
+				m.tile(i, k, func(a mem.Addr) { work(b, 6); b.Load(a) })
+				m.tile(j, k, func(a mem.Addr) { work(b, 6); b.Load(a) })
+				m.tile(i, j, func(a mem.Addr) { work(b, 20); b.Load(a); b.Store(a) })
+			}
+		}
+	}
+	return g.trace("CH")
+}
+
+// RDX models SPLASH-2 Radix: an LSD radix sort.  Each pass streams the
+// source array to build a histogram, then permutes keys into per-digit
+// buckets whose write cursors advance quasi-sequentially — many buckets
+// live at once, spraying writes across the destination.
+func RDX(cores int, sc Scale, seed int64) *trace.Trace {
+	keys := pick(sc, 8<<10, 256<<10, 512<<10)
+	radix := pick(sc, 256, 1024, 2048)
+	passes := pick(sc, 1, 2, 2)
+
+	g := newGen(cores)
+	src := g.region(int64(keys) * 4)
+	dst := g.region(int64(keys) * 4)
+	hist := g.region(int64(radix) * 4)
+
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]uint32, keys)
+	for i := range vals {
+		vals[i] = rng.Uint32()
+	}
+
+	for p := 0; p < passes; p++ {
+		shift := uint(11 * p)
+		// Count phase: per-core local histograms over the key stream,
+		// walked a 16-key block at a time; one sampled bucket update per
+		// block escapes the L1-resident histogram into the trace.
+		for c := 0; c < cores; c++ {
+			b := g.b[c]
+			lo, hi := split(keys/16, cores, c)
+			for blk := lo; blk < hi; blk++ {
+				work(b, 64)
+				b.Load(src + mem.Addr(blk*64))
+				d := int(vals[blk*16]>>shift) % radix
+				b.Store(hist + mem.Addr(d*4))
+			}
+		}
+		// Permute phase: sequential reads, bucket-cursor writes.  The
+		// cursor of digit d starts at d's prefix position and advances.
+		cursors := make([]int, radix)
+		for _, v := range vals {
+			cursors[int(v>>shift)%radix]++
+		}
+		sum := 0
+		for d := 0; d < radix; d++ {
+			n := cursors[d]
+			cursors[d] = sum
+			sum += n
+		}
+		for c := 0; c < cores; c++ {
+			b := g.b[c]
+			lo, hi := split(keys, cores, c)
+			for i := lo; i < hi; i++ {
+				if i%16 == 0 {
+					work(b, 8)
+					b.Load(src + mem.Addr(i/16*64))
+				}
+				work(b, 6)
+				d := int(vals[i]>>shift) % radix
+				b.Store(dst + mem.Addr(cursors[d]*4))
+				cursors[d]++
+			}
+		}
+		src, dst = dst, src
+	}
+	return g.trace("RDX")
+}
+
+// OCN models SPLASH-2 Ocean (514x514): red-black successive
+// over-relaxation sweeps over several 2D grids, plus auxiliary
+// field updates — row-streaming traffic with vertical-neighbor reuse.
+func OCN(cores int, sc Scale, seed int64) *trace.Trace {
+	n := pick(sc, 66, 386, 514)
+	grids := pick(sc, 2, 4, 5)
+	sweeps := pick(sc, 2, 3, 4)
+
+	g := newGen(cores)
+	var bases []mem.Addr
+	for i := 0; i < grids; i++ {
+		bases = append(bases, g.region(int64(n*n)*8))
+	}
+
+	rowB := n * 8
+	for s := 0; s < sweeps; s++ {
+		grid := bases[s%grids]
+		aux := bases[(s+1)%grids]
+		for c := 0; c < cores; c++ {
+			b := g.b[c]
+			lo, hi := split(n-2, cores, c)
+			for y := lo + 1; y < hi+1; y++ {
+				row := grid + mem.Addr(y*rowB)
+				for x := 0; x < n*8; x += mem.BlockSize {
+					work(b, 28)
+					b.Load(row + mem.Addr(x))
+					b.Load(row - mem.Addr(rowB) + mem.Addr(x))
+					b.Load(row + mem.Addr(rowB) + mem.Addr(x))
+					b.Load(aux + mem.Addr(y*rowB+x))
+					b.Store(row + mem.Addr(x))
+				}
+			}
+		}
+	}
+	return g.trace("OCN")
+}
+
+// FFT models SPLASH-2 FFT (the six-step 1M-point algorithm on a
+// sqrt(N) x sqrt(N) matrix): a blocked transpose with scattered writes,
+// per-row local FFT sweeps, twiddle scaling, and a second transpose.
+func FFT(cores int, sc Scale, seed int64) *trace.Trace {
+	rows := pick(sc, 32, 320, 512) // matrix is rows x rows complex128
+	g := newGen(cores)
+	const elem = 16
+	a := g.region(int64(rows*rows) * elem)
+	t := g.region(int64(rows*rows) * elem)
+	roots := g.region(int64(rows) * elem)
+
+	at := func(base mem.Addr, r, c int) mem.Addr {
+		return base + mem.Addr((r*rows+c)*elem)
+	}
+
+	transpose := func(srcB, dstB mem.Addr) {
+		for c := 0; c < cores; c++ {
+			b := g.b[c]
+			lo, hi := split(rows, cores, c)
+			for r := lo; r < hi; r++ {
+				for col := 0; col < rows; col += 4 {
+					work(b, 10)
+					b.Load(at(srcB, r, col)) // one block: 4 complex
+					for k := 0; k < 4; k++ {
+						b.Store(at(dstB, col+k, r))
+					}
+				}
+			}
+		}
+	}
+	rowFFT := func(base mem.Addr) {
+		for c := 0; c < cores; c++ {
+			b := g.b[c]
+			lo, hi := split(rows, cores, c)
+			for r := lo; r < hi; r++ {
+				for pass := 0; pass < 2; pass++ { // blocked butterfly sweeps
+					for col := 0; col < rows; col += 4 {
+						work(b, 36)
+						b.Load(roots + mem.Addr((col*elem)&0xFC0))
+						b.Load(at(base, r, col))
+						b.Store(at(base, r, col))
+					}
+				}
+			}
+		}
+	}
+
+	transpose(a, t)
+	rowFFT(t)
+	transpose(t, a)
+	rowFFT(a)
+	return g.trace("FFT")
+}
+
+// LU models SPLASH-2 LU: dense blocked right-looking factorization.
+// Trailing tiles are re-read on every outer iteration, so early panels
+// accumulate the narrow band of high reuse counts visible in Fig 3.
+func LU(cores int, sc Scale, seed int64) *trace.Trace {
+	n := pick(sc, 128, 640, 1024)
+	bs := pick(sc, 32, 64, 128)
+	nb := n / bs
+
+	g := newGen(cores)
+	m := blockedMatrix{g.region(int64(n*n) * 8), n, bs}
+
+	task := 0
+	for k := 0; k < nb; k++ {
+		b := g.b[task%cores]
+		task++
+		m.tile(k, k, func(a mem.Addr) { work(b, 40); b.Load(a); b.Store(a) })
+		for i := k + 1; i < nb; i++ { // column panel
+			b := g.b[task%cores]
+			task++
+			m.tile(k, k, func(a mem.Addr) { work(b, 8); b.Load(a) })
+			m.tile(i, k, func(a mem.Addr) { work(b, 24); b.Load(a); b.Store(a) })
+		}
+		for j := k + 1; j < nb; j++ { // row panel
+			b := g.b[task%cores]
+			task++
+			m.tile(k, k, func(a mem.Addr) { work(b, 8); b.Load(a) })
+			m.tile(k, j, func(a mem.Addr) { work(b, 24); b.Load(a); b.Store(a) })
+		}
+		for i := k + 1; i < nb; i++ { // trailing update
+			for j := k + 1; j < nb; j++ {
+				b := g.b[task%cores]
+				task++
+				m.tile(i, k, func(a mem.Addr) { work(b, 6); b.Load(a) })
+				m.tile(k, j, func(a mem.Addr) { work(b, 6); b.Load(a) })
+				m.tile(i, j, func(a mem.Addr) { work(b, 20); b.Load(a); b.Store(a) })
+			}
+		}
+	}
+	return g.trace("LU")
+}
+
+// BRN models SPLASH-2 Barnes (Barnes-Hut N-body): per-body force
+// computation walking an octree whose upper levels are shared by every
+// traversal (extreme reuse) while leaf cells are touched a handful of
+// times — a power-law reuse distribution.
+func BRN(cores int, sc Scale, seed int64) *trace.Trace {
+	bodies := pick(sc, 2<<10, 32<<10, 64<<10)
+	steps := pick(sc, 1, 1, 1)
+	visitsPerBody := 12
+
+	g := newGen(cores)
+	bodyArr := g.region(int64(bodies) * 64) // one body per block
+	nodes := bodies * 2
+	nodeArr := g.region(int64(nodes) * 64)
+
+	rng := rand.New(rand.NewSource(seed))
+
+	for s := 0; s < steps; s++ {
+		for c := 0; c < cores; c++ {
+			b := g.b[c]
+			lo, hi := split(bodies, cores, c)
+			for i := lo; i < hi; i++ {
+				work(b, 12)
+				b.Load(bodyArr + mem.Addr(i*64))
+				// Walk from the root: the candidate span doubles toward
+				// the leaves each step, so upper tree levels (small
+				// indices) are shared by every traversal while leaf
+				// cells see only a handful of touches.
+				span := 2
+				for v := 0; v < visitsPerBody; v++ {
+					idx := rng.Intn(span)
+					work(b, 20)
+					b.Load(nodeArr + mem.Addr(idx*64))
+					span *= 3
+					if span > nodes {
+						span = nodes
+					}
+				}
+				b.Store(bodyArr + mem.Addr(i*64))
+			}
+		}
+	}
+	return g.trace("BRN")
+}

@@ -1,0 +1,64 @@
+package redcache
+
+import "testing"
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CPU.Cores = 4
+	tr, err := GenerateTrace("HIST", cfg.CPU.Cores, ScaleTiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, RedCache, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.Ctl.Reads == 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestArchitectureCatalog(t *testing.T) {
+	archs := Architectures()
+	if len(archs) != 9 {
+		t.Fatalf("got %d architectures, want 9", len(archs))
+	}
+	if archs[0] != NoHBM || archs[len(archs)-1] != RedCache {
+		t.Fatal("catalog order changed")
+	}
+}
+
+func TestWorkloadCatalog(t *testing.T) {
+	if got := len(Workloads()); got != 11 {
+		t.Fatalf("got %d workloads, want 11", got)
+	}
+	if _, err := GenerateTrace("nope", 2, ScaleTiny, 1); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+func TestCustomTraceViaBuilder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CPU.Cores = 2
+	var b0, b1 TraceBuilder
+	for i := 0; i < 2000; i++ {
+		b0.Work(8)
+		b0.Load(Addr(64 * (i % 512)))
+		b1.Work(8)
+		b1.Store(Addr(64 * (i % 256)))
+	}
+	tr := &Trace{Name: "custom", Streams: []TraceStream{b0.Stream(), b1.Stream()}}
+	res, err := Run(cfg, Alloy, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no progress on custom trace")
+	}
+}
+
+func TestPaperConfigValidates(t *testing.T) {
+	if err := PaperConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
