@@ -174,11 +174,17 @@ func main() {
 
 	if *fig == "ablation" {
 		fmt.Println("\n== Ablations (RedCache, normalized to the paper configuration) ==")
-		for name, run := range map[string]func() ([]experiments.AblationPoint, error){
-			"RCU queue size":   suite.AblationRCUSize,
-			"alpha adaptivity": suite.AblationAlphaAdaptivity,
-			"gamma adaptivity": suite.AblationGammaAdaptivity,
+		// A slice, not a map: ablation sections must print in a fixed
+		// order so the report is byte-stable across runs (detmaprange).
+		for _, ab := range []struct {
+			name string
+			run  func() ([]experiments.AblationPoint, error)
+		}{
+			{"RCU queue size", suite.AblationRCUSize},
+			{"alpha adaptivity", suite.AblationAlphaAdaptivity},
+			{"gamma adaptivity", suite.AblationGammaAdaptivity},
 		} {
+			name, run := ab.name, ab.run
 			pts, err := run()
 			fatalIf(err)
 			fmt.Printf("%s:\n", name)
@@ -193,6 +199,7 @@ func main() {
 		ts, err := suite.TextStats()
 		fatalIf(err)
 		fmt.Println("\n== Text statistics ==")
+		ts.WriteTable(os.Stdout)
 		fmt.Printf("§II-C last-access-is-write share (Alloy, mean): %.0f%% (paper >82%%)\n",
 			100*ts.MeanLastWrite)
 		fmt.Printf("§III-C r-count updates without dedicated transfer (RedCache, mean): %.0f%% (paper >97%%)\n",

@@ -48,10 +48,10 @@ func main() {
 	}
 
 	tr := spec.Gen(cfg.CPU.Cores, sc, *seed)
-	start := time.Now()
+	start := time.Now() //redvet:wallclock — host-side progress timing, never feeds simulated state
 	res, err := sim.Run(cfg, hbm.Arch(*arch), tr, nil)
 	fatalIf(err)
-	wall := time.Since(start)
+	wall := time.Since(start) //redvet:wallclock — host-side progress timing, never feeds simulated state
 
 	fmt.Printf("== %s on %s (%s scale, %d cores, %d records) ==\n",
 		spec.Label, res.Arch, sc, cfg.CPU.Cores, tr.Records())

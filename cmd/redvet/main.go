@@ -1,0 +1,62 @@
+// Command redvet runs the repository's domain-specific static-analysis
+// suite: the four analyzers in internal/lint that machine-check the
+// simulator's determinism and unit contracts (see DESIGN.md,
+// "Determinism contract & static analysis").
+//
+// Usage:
+//
+//	go run ./cmd/redvet ./...        # whole repo (CI entry point)
+//	go run ./cmd/redvet ./internal/stats
+//	go run ./cmd/redvet -list        # describe the analyzers
+//
+// redvet exits nonzero when any diagnostic is reported.  A finding is
+// silenced only by fixing it or by a justified //redvet:<directive>
+// annotation on the offending line (or the line above).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"redcache/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s //redvet:%-10s %s\n", a.Name, a.Directive, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "redvet:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !a.Scope(pkg.Path) {
+				continue
+			}
+			for _, d := range a.Analyze(pkg) {
+				fmt.Println(d)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

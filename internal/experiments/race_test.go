@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"redcache/internal/hbm"
+	"redcache/internal/workloads"
+)
+
+// TestParallelRunnerRace exercises the suite's goroutine fan-out (the
+// sync.WaitGroup worker pool in runAll) and the mutex-guarded memo maps
+// under the race detector: four workloads by several architectures with
+// at least four workers, so concurrent trace generation, result
+// memoization and progress callbacks all overlap.  Run with
+// `go test -race ./internal/experiments/...` (CI does).
+func TestParallelRunnerRace(t *testing.T) {
+	s := NewSuite(workloads.Tiny)
+	s.Sys.CPU.Cores = 4
+	s.Workloads = []string{"LU", "HIST", "IS", "RDX"}
+	s.Parallel = 8
+
+	var mu sync.Mutex
+	var progress int
+	s.Progress = func(string) {
+		mu.Lock()
+		progress++
+		mu.Unlock()
+	}
+
+	f9, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f9.Workloads) != 4 {
+		t.Fatalf("got %d workloads, want 4", len(f9.Workloads))
+	}
+	mu.Lock()
+	if progress == 0 {
+		t.Error("progress callback never fired")
+	}
+	mu.Unlock()
+}
+
+// TestConcurrentResultMemoization hammers the memo cache from many
+// goroutines asking for overlapping (workload, arch) pairs: every
+// caller must observe the same memoized *Result pointer, and the race
+// detector must stay quiet.
+func TestConcurrentResultMemoization(t *testing.T) {
+	s := NewSuite(workloads.Tiny)
+	s.Sys.CPU.Cores = 4
+	s.Workloads = []string{"LU", "HIST"}
+	s.Parallel = 4
+
+	archs := []hbm.Arch{hbm.ArchAlloy, hbm.ArchRedCache}
+	type key struct {
+		w string
+		a hbm.Arch
+	}
+	var mu sync.Mutex
+	seen := make(map[key]map[interface{}]bool)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		for _, w := range s.Workloads {
+			for _, a := range archs {
+				wg.Add(1)
+				go func(w string, a hbm.Arch) {
+					defer wg.Done()
+					r, err := s.Result(w, a)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					mu.Lock()
+					k := key{w, a}
+					if seen[k] == nil {
+						seen[k] = make(map[interface{}]bool)
+					}
+					seen[k][r] = true
+					mu.Unlock()
+				}(w, a)
+			}
+		}
+	}
+	wg.Wait()
+
+	for k, ptrs := range seen { //redvet:ordered — test-only map walk, order-free assertions
+		if len(ptrs) != 1 {
+			t.Errorf("%s/%s: memoization returned %d distinct results, want 1", k.w, k.a, len(ptrs))
+		}
+	}
+}

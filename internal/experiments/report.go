@@ -144,6 +144,45 @@ func (s *Suite) TextStats() (*TextStats, error) {
 	return out, nil
 }
 
+// TextStatsRow is one workload's §II-C / §III-C measurements.
+type TextStatsRow struct {
+	Workload       string
+	LastWriteShare float64
+	RCUFreeShare   float64
+}
+
+// Rows flattens the per-workload maps in sorted workload order, so
+// anything emitting them (tables, CSV, tests) is byte-stable across
+// runs regardless of map iteration order.
+func (t *TextStats) Rows() []TextStatsRow {
+	keys := make([]string, 0, len(t.LastWriteShare))
+	for w := range t.LastWriteShare {
+		keys = append(keys, w)
+	}
+	sort.Strings(keys)
+	out := make([]TextStatsRow, 0, len(keys))
+	for _, w := range keys {
+		out = append(out, TextStatsRow{
+			Workload:       w,
+			LastWriteShare: t.LastWriteShare[w],
+			RCUFreeShare:   t.RCUFreeShare[w],
+		})
+	}
+	return out
+}
+
+// WriteTable renders the text statistics per workload plus means.
+func (t *TextStats) WriteTable(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tlast-access-write\trcu-free-updates")
+	for _, r := range t.Rows() {
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\n",
+			r.Workload, 100*r.LastWriteShare, 100*r.RCUFreeShare)
+	}
+	fmt.Fprintf(tw, "mean\t%.1f%%\t%.1f%%\n", 100*t.MeanLastWrite, 100*t.MeanRCUFree)
+	tw.Flush()
+}
+
 // Fig3Sketch renders an ASCII sketch of a homo-reuse histogram: cost per
 // reuse bucket, normalized to the tallest bucket.
 func Fig3Sketch(r Fig3Result, buckets int, w io.Writer) {
@@ -157,8 +196,8 @@ func Fig3Sketch(r Fig3Result, buckets int, w io.Writer) {
 	}
 	agg := make([]int64, buckets)
 	for _, g := range r.Groups {
-		b := int(g.Reuses * int64(buckets) / (maxReuse + 1))
-		agg[b] += g.Cost
+		// Index with the int64 cycle math directly; no narrowing.
+		agg[g.Reuses*int64(buckets)/(maxReuse+1)] += g.Cost
 	}
 	var peak int64 = 1
 	for _, v := range agg {
@@ -169,7 +208,7 @@ func Fig3Sketch(r Fig3Result, buckets int, w io.Writer) {
 	fmt.Fprintf(w, "%s (reuse 0..%d, peak-window share %.0f%%)\n",
 		r.Workload, maxReuse, 100*r.PeakShare)
 	for i, v := range agg {
-		bar := int(v * 40 / peak)
+		bar := int(v * 40 / peak) //redvet:units — v <= peak, so the bar is bounded to [0,40]
 		lo := int64(i) * (maxReuse + 1) / int64(buckets)
 		hi := int64(i+1)*(maxReuse+1)/int64(buckets) - 1
 		fmt.Fprintf(w, "  %4d-%-4d |%s\n", lo, hi, strings.Repeat("#", bar))

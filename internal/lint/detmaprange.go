@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetMapRange flags `range` statements over maps in deterministic
+// packages.  Go randomizes map iteration order, so any map range on a
+// path that feeds simulation state, statistics aggregation or report
+// emission silently breaks the engine's bit-reproducibility guarantee.
+//
+// A map range is accepted without annotation when the loop body is
+// provably order-insensitive:
+//
+//   - it only accumulates into integer variables with commutative
+//     compound assignments (+=, -=, |=, &=, ^=, ++, --), optionally
+//     guarded by if statements — integer addition is associative and
+//     commutative, so iteration order cannot change the result (float
+//     accumulation is NOT exempt: float addition is order-dependent);
+//   - or it only collects keys/values with `s = append(s, x)`, the
+//     standard gather-then-sort idiom (the caller must sort before any
+//     order-dependent use, which the fixture and code review enforce).
+//
+// Anything else needs keys sorted before iteration, or a justified
+// `//redvet:ordered` annotation.
+var DetMapRange = &Analyzer{
+	Name:      "detmaprange",
+	Doc:       "flags nondeterministic map iteration in deterministic simulator packages",
+	Directive: "ordered",
+	Scope: func(path string) bool {
+		return !strings.HasPrefix(path, "redcache/internal/lint")
+	},
+	Run: runDetMapRange,
+}
+
+func runDetMapRange(pass *Pass) {
+	inspect(pass, func(n ast.Node, _ []ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !isMapType(pass, rs.X) {
+			return true
+		}
+		if orderInsensitiveBody(pass, rs.Body) {
+			return true
+		}
+		pass.Reportf(rs.For, "range over map %s has nondeterministic order; sort the keys first or annotate //redvet:ordered with a justification", exprString(rs.X))
+		return true
+	})
+}
+
+func isMapType(pass *Pass, x ast.Expr) bool {
+	t := pass.Info.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// orderInsensitiveBody reports whether every statement in the loop body
+// is a commutative integer accumulation or a bare append-gather.
+func orderInsensitiveBody(pass *Pass, body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return true // `for range m {}` or key-only counting
+	}
+	var ok func(s ast.Stmt) bool
+	ok = func(s ast.Stmt) bool {
+		switch s := s.(type) {
+		case *ast.IncDecStmt:
+			return isIntegerType(pass.Info.TypeOf(s.X))
+		case *ast.AssignStmt:
+			return commutativeAssign(pass, s) || appendGather(s)
+		case *ast.IfStmt:
+			if s.Init != nil && !ok(s.Init) {
+				return false
+			}
+			for _, b := range s.Body.List {
+				if !ok(b) {
+					return false
+				}
+			}
+			if s.Else != nil {
+				return ok(s.Else)
+			}
+			return true
+		case *ast.BlockStmt:
+			for _, b := range s.List {
+				if !ok(b) {
+					return false
+				}
+			}
+			return true
+		default:
+			return false
+		}
+	}
+	for _, s := range body.List {
+		if !ok(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// commutativeAssign matches `x op= e` where op is order-insensitive for
+// integers and x is integer-typed.
+func commutativeAssign(pass *Pass, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+	default:
+		return false
+	}
+	for _, lhs := range s.Lhs {
+		if !isIntegerType(pass.Info.TypeOf(lhs)) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendGather matches the key-collection idiom `s = append(s, ...)`.
+func appendGather(s *ast.AssignStmt) bool {
+	if s.Tok != token.ASSIGN || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	return ok && first.Name == lhs.Name
+}

@@ -1,0 +1,195 @@
+// Package lint is a self-contained static-analysis framework plus the
+// redvet analyzers that machine-check this repository's simulation
+// invariants: deterministic iteration (detmaprange), no wall-clock or
+// unseeded randomness in simulation code (nowallclock), cycle-typed
+// time flow (cycleunits), and component-owned statistics (statspath).
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis but
+// is built only on the standard library (go/ast, go/types and the gc
+// export-data importer), so the module keeps its zero-dependency
+// property.  Packages are loaded offline via `go list -export`.
+//
+// Every analyzer honours a per-site escape hatch: a comment of the form
+//
+//	//redvet:<directive>  — justification
+//
+// on the flagged line or the line above suppresses the diagnostic.  The
+// directive token is analyzer-specific (ordered, wallclock, units,
+// statshook) so a justification for one invariant never silences
+// another.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (e.g. "detmaprange").
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Directive is the //redvet:<token> suppression token.
+	Directive string
+	// Scope reports whether the analyzer applies to a package path.
+	// The driver consults it; tests bypass it and run Run directly.
+	Scope func(pkgPath string) bool
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// directives maps filename -> line -> redvet directive tokens
+	// present on that line (built once per package by the loader).
+	directives map[string]map[int][]string
+
+	Diagnostics []Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a matching //redvet
+// directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	p.Diagnostics = append(p.Diagnostics, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether a //redvet:<directive> comment sits on the
+// diagnostic's line or the line directly above it.
+func (p *Pass) suppressed(pos token.Position) bool {
+	lines := p.directives[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, tok := range lines[line] {
+			if tok == p.Analyzer.Directive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// directiveLines extracts redvet directive tokens from a file's
+// comments, keyed by the line the comment ends on.
+func directiveLines(fset *token.FileSet, f *ast.File) map[int][]string {
+	out := make(map[int][]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			idx := strings.Index(text, "redvet:")
+			if idx < 0 {
+				continue
+			}
+			tok := text[idx+len("redvet:"):]
+			if cut := strings.IndexAny(tok, " \t—-"); cut >= 0 {
+				tok = tok[:cut]
+			}
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			line := fset.Position(c.End()).Line
+			out[line] = append(out[line], tok)
+		}
+	}
+	return out
+}
+
+// Analyze executes the analyzer over pkg and returns its diagnostics.
+func (a *Analyzer) Analyze(pkg *Package) []Diagnostic {
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		Info:       pkg.Info,
+		directives: pkg.Directives,
+	}
+	a.Run(pass)
+	sort.Slice(pass.Diagnostics, func(i, j int) bool {
+		a, b := pass.Diagnostics[i].Pos, pass.Diagnostics[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return pass.Diagnostics
+}
+
+// All returns the full redvet analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{DetMapRange, NoWallClock, CycleUnits, StatsPath}
+}
+
+// inspect walks every file in the pass with fn, tracking the stack of
+// enclosing nodes.  fn returns false to prune the subtree.
+func inspect(pass *Pass, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if !fn(n, stack) {
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// basicKind returns the basic kind of t's core type, or types.Invalid.
+func basicKind(t types.Type) types.BasicKind {
+	if t == nil {
+		return types.Invalid
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Kind()
+	}
+	return types.Invalid
+}
+
+// isIntegerType reports whether t is any integer type.
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoWallClock flags wall-clock reads and unseeded (global) randomness
+// in simulation packages.  Simulated time advances only through
+// engine.Engine.Now/After/Schedule; any time.Now (or derivative) and
+// any use of math/rand's global generator makes a run irreproducible.
+//
+// Seeded generators built with rand.New(rand.NewSource(seed)) — the
+// workload-generator idiom — are allowed, as long as the seed itself is
+// not derived from the wall clock (time.Now inside the seed expression
+// is still flagged by the time rule).
+//
+// Justified wall-clock use (e.g. progress reporting in a CLI) carries a
+// `//redvet:wallclock` annotation.
+var NoWallClock = &Analyzer{
+	Name:      "nowallclock",
+	Doc:       "flags time.Now and global/unseeded math/rand in simulation packages",
+	Directive: "wallclock",
+	Scope: func(path string) bool {
+		return !strings.HasPrefix(path, "redcache/internal/lint")
+	},
+	Run: runNoWallClock,
+}
+
+// wallClockFuncs are the time package entry points that observe or
+// depend on the host clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true, "After": true,
+	"AfterFunc": true, "Sleep": true,
+}
+
+// seededRandCtors are the only math/rand package-level entry points a
+// deterministic simulator may touch: explicit generator construction.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runNoWallClock(pass *Pass) {
+	inspect(pass, func(n ast.Node, _ []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		// Only package-level functions qualify (rand.Intn vs rng.Intn:
+		// the latter's Intn is a method, whose Pkg-level parent differs).
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Type().(*types.Signature).Recv() != nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "time":
+			if wallClockFuncs[obj.Name()] {
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation time must come from engine.Engine.Now (annotate //redvet:wallclock if this is host-side tooling)", obj.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if !seededRandCtors[obj.Name()] {
+				pass.Reportf(sel.Pos(), "%s.%s uses the global random generator; build a seeded generator with rand.New(rand.NewSource(seed)) so runs are reproducible", pathBase(obj.Pkg().Path()), obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// exprString renders a (small) expression for diagnostics.
+func exprString(e ast.Expr) string {
+	var b strings.Builder
+	_ = printer.Fprint(&b, token.NewFileSet(), e)
+	s := b.String()
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// StatsPath enforces statistics ownership: a component's counters are
+// mutated only by that component.  Concretely, a stats counter (any
+// field of a struct defined in internal/stats, or of a struct whose
+// type name ends in "Stats", or a mutating internal/stats method such
+// as Counter.Add or ReuseHistogram.Observe) may be updated
+//
+//   - anywhere in a plain function or method body, through locals,
+//     parameters or the receiver, and
+//   - inside a function literal only through state the literal owns —
+//     its own locals/parameters or the receiver of the method that
+//     created it (a component scheduling its own deferred event).
+//
+// What it may NOT do is reach through a captured variable that belongs
+// to some other component: that is exactly the shape of a hook
+// registered on component A mutating component B's counters, which
+// couples measurement to callback registration order and breaks the
+// single-writer story the aggregation paths rely on.  Deliberate
+// cross-component attribution (e.g. a DDR observer charging bus cycles
+// to an experiment-owned histogram) carries `//redvet:statshook`.
+var StatsPath = &Analyzer{
+	Name:      "statspath",
+	Doc:       "flags stats counters mutated from hooks/closures outside their owning component",
+	Directive: "statshook",
+	Scope: func(path string) bool {
+		return strings.HasPrefix(path, "redcache/internal/") &&
+			!strings.HasPrefix(path, "redcache/internal/lint")
+	},
+	Run: runStatsPath,
+}
+
+const statsPkgPath = "redcache/internal/stats"
+
+// statsMutators are the internal/stats methods that write state.
+var statsMutators = map[string]bool{"Add": true, "Inc": true, "Observe": true}
+
+func runStatsPath(pass *Pass) {
+	inspect(pass, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && isStatsField(pass, sel) {
+					checkMutationSite(pass, sel, stack)
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := n.X.(*ast.SelectorExpr); ok && isStatsField(pass, sel) {
+				checkMutationSite(pass, sel, stack)
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && isStatsMutatorCall(pass, sel) {
+				checkMutationSite(pass, sel, stack)
+			}
+		}
+		return true
+	})
+}
+
+// isStatsField reports whether sel selects a field of a stats struct.
+func isStatsField(pass *Pass, sel *ast.SelectorExpr) bool {
+	s := pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return false
+	}
+	named, ok := derefType(s.Recv()).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == statsPkgPath ||
+		strings.HasSuffix(named.Obj().Name(), "Stats")
+}
+
+// isStatsMutatorCall reports whether sel is a mutating internal/stats
+// method (Counter.Add, ReuseHistogram.Observe, ...).
+func isStatsMutatorCall(pass *Pass, sel *ast.SelectorExpr) bool {
+	s := pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	m := s.Obj()
+	return m.Pkg() != nil && m.Pkg().Path() == statsPkgPath && statsMutators[m.Name()]
+}
+
+// checkMutationSite applies the ownership rule to one mutation of the
+// stats state reached through sel.
+func checkMutationSite(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+	root, viaCall := chainRoot(sel)
+
+	// Innermost enclosing function literal and outermost declaration.
+	var lit *ast.FuncLit
+	var decl *ast.FuncDecl
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			if lit == nil {
+				lit = f
+			}
+		case *ast.FuncDecl:
+			decl = f
+		}
+	}
+
+	if viaCall {
+		if lit != nil {
+			pass.Reportf(sel.Pos(), "stats state %s mutated through a call result inside a function literal; mutate via the owning component or annotate //redvet:statshook", exprString(sel))
+		}
+		return
+	}
+	if root == nil {
+		return
+	}
+	obj := pass.Info.Uses[root]
+	if obj == nil {
+		obj = pass.Info.Defs[root]
+	}
+	if obj == nil {
+		return
+	}
+
+	if lit == nil {
+		// Plain function/method body: only package-level stats are
+		// out of bounds (a global counter has no owning component).
+		if isPackageLevel(pass, obj) {
+			pass.Reportf(sel.Pos(), "package-level stats state %s mutated; counters must live inside a component", exprString(sel))
+		}
+		return
+	}
+
+	// Inside a function literal: the root must be local to the literal
+	// or be the receiver of the enclosing method.
+	if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+		return // literal's own parameter or local
+	}
+	if decl != nil && isReceiver(pass, decl, obj) {
+		return // component updating itself from its own deferred event
+	}
+	pass.Reportf(sel.Pos(), "stats state %s mutated through captured %q inside a function literal (hook registered on another component); move the update into the owning component or annotate //redvet:statshook", exprString(sel), root.Name)
+}
+
+// chainRoot walks a selector chain to its base identifier.  viaCall is
+// true when the chain passes through a call result (obj.Stats().X).
+func chainRoot(e ast.Expr) (root *ast.Ident, viaCall bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil, true
+		case *ast.Ident:
+			return x, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// isReceiver reports whether obj is decl's receiver variable.
+func isReceiver(pass *Pass, decl *ast.FuncDecl, obj types.Object) bool {
+	if decl.Recv == nil {
+		return false
+	}
+	for _, f := range decl.Recv.List {
+		for _, name := range f.Names {
+			if pass.Info.Defs[name] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isPackageLevel reports whether obj is declared at package scope.
+func isPackageLevel(pass *Pass, obj types.Object) bool {
+	return obj.Parent() == pass.Pkg.Scope()
+}
+
+// derefType unwraps one level of pointer.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

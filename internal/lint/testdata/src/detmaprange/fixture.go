@@ -1,0 +1,70 @@
+// Package fixture exercises the detmaprange analyzer: every `// want`
+// line is a defect the analyzer must catch; unmarked loops must pass.
+package fixture
+
+import "sort"
+
+// bad: arbitrary loop body observes map order.
+func emitUnsorted(m map[string]int) {
+	for k, v := range m { // want `range over map`
+		println(k, v)
+	}
+}
+
+// good: the gather-then-sort idiom.
+func emitSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		println(k, m[k])
+	}
+}
+
+// good: commutative integer accumulation is order-insensitive.
+func sumValues(m map[string]int64) int64 {
+	var n int64
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// bad: float accumulation is order-dependent (non-associative adds).
+func sumFloats(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `range over map`
+		s += v
+	}
+	return s
+}
+
+// good: guarded integer counting.
+func countTrue(m map[uint64]bool) int {
+	var n int
+	for _, w := range m {
+		if w {
+			n++
+		}
+	}
+	return n
+}
+
+// bad: plain assignment is last-writer-wins, so order leaks through.
+func lastValue(m map[string]int) int {
+	var last int
+	for _, v := range m { // want `range over map`
+		last = v
+	}
+	return last
+}
+
+// good: justified escape hatch.
+func clear(m map[string]int) {
+	//redvet:ordered — deletion order is unobservable
+	for k := range m {
+		delete(m, k)
+	}
+}

@@ -1,0 +1,64 @@
+// Package fixture exercises the statspath analyzer.
+package fixture
+
+import "redcache/internal/stats"
+
+// component owns an interface-traffic record and a counter.
+type component struct {
+	iface stats.Interface
+	ctr   stats.Counter
+}
+
+// sched stands in for the event engine: it registers hooks.
+type sched struct{ fns []func() }
+
+func (s *sched) after(fn func()) { s.fns = append(s.fns, fn) }
+
+// good: mutation through the receiver in the method body.
+func (c *component) read(n int64) {
+	c.iface.ReadBytes += n
+	c.ctr.Inc()
+}
+
+// good: a component updating itself from its own deferred event.
+func (c *component) readLater(s *sched, n int64) {
+	s.after(func() {
+		c.iface.ReadBytes += n
+	})
+}
+
+// bad: hook registered on one component mutates another's counters.
+func register(s *sched, other *component) {
+	s.after(func() {
+		other.iface.RowHits++ // want `captured "other"`
+	})
+}
+
+// bad: mutating stats method reached through a captured variable.
+func registerHist(s *sched, hist *stats.ReuseHistogram) {
+	s.after(func() {
+		hist.Observe(1, 2) // want `captured "hist"`
+	})
+}
+
+// good: state the literal itself owns.
+func scratch(s *sched) {
+	s.after(func() {
+		var local stats.CacheStats
+		local.Hits++
+	})
+}
+
+var global stats.CacheStats
+
+// bad: a package-level counter has no owning component.
+func bumpGlobal() {
+	global.Misses++ // want `package-level stats`
+}
+
+// good: justified cross-component attribution.
+func registerAttributed(s *sched, hist *stats.ReuseHistogram) {
+	s.after(func() {
+		hist.Observe(1, 2) //redvet:statshook — experiment-owned histogram
+	})
+}

@@ -114,23 +114,34 @@ type Group struct {
 
 // Groups returns homo-reuse groups sorted by reuse count.  A block with
 // n accesses has n-1 reuses; the paper plots groups by reuse count.
+//
+// Aggregation walks blocks in sorted key order so the emitted slice is
+// byte-stable across runs — never in map order, which Go randomizes.
 func (h *ReuseHistogram) Groups() []Group {
+	blocks := make([]uint64, 0, len(h.reuse))
+	for b := range h.reuse {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+
 	agg := make(map[int64]*Group)
-	for b, accesses := range h.reuse {
-		reuses := accesses - 1
+	reuseCounts := make([]int64, 0, len(blocks))
+	for _, b := range blocks {
+		reuses := h.reuse[b] - 1
 		g := agg[reuses]
 		if g == nil {
 			g = &Group{Reuses: reuses}
 			agg[reuses] = g
+			reuseCounts = append(reuseCounts, reuses)
 		}
 		g.BlockCount++
 		g.Cost += h.cost[b]
 	}
-	out := make([]Group, 0, len(agg))
-	for _, g := range agg {
-		out = append(out, *g)
+	sort.Slice(reuseCounts, func(i, j int) bool { return reuseCounts[i] < reuseCounts[j] })
+	out := make([]Group, 0, len(reuseCounts))
+	for _, r := range reuseCounts {
+		out = append(out, *agg[r])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Reuses < out[j].Reuses })
 	return out
 }
 
