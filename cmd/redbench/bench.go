@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"redcache/internal/config"
+	"redcache/internal/dram"
+	"redcache/internal/engine"
+	"redcache/internal/hbm"
+	"redcache/internal/mem"
+	"redcache/internal/sim"
+	"redcache/internal/stats"
+	"redcache/internal/trace"
+	"redcache/internal/workloads"
+)
+
+// The -bench mode runs the repo's performance benchmarks outside `go
+// test` (via testing.Benchmark) and writes a machine-readable snapshot
+// to BENCH_<date>.json, so CI and EXPERIMENTS.md work from the same
+// numbers.
+var (
+	benchMode = flag.Bool("bench", false, "run the performance benchmark suite and write BENCH_<date>.json")
+	benchOut  = flag.String("benchout", "", "benchmark output path (default BENCH_<date>.json in the working directory)")
+)
+
+// microResult is one testing.Benchmark measurement.
+type microResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// EventsPerSec is reported by engine benchmarks (one event per op);
+	// zero for benchmarks where the metric is meaningless.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// MBPerSec is reported by the trace codec benchmark.
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+}
+
+// e2eResult is one whole-simulation throughput measurement.
+type e2eResult struct {
+	Workload     string  `json:"workload"`
+	Arch         string  `json:"arch"`
+	Scale        string  `json:"scale"`
+	Cycles       int64   `json:"cycles"`
+	EventsFired  uint64  `json:"events_fired"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchReport is the BENCH_<date>.json schema.  Arrays, not maps: the
+// file must be byte-stable given identical measurements.
+type benchReport struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	Micro      []microResult `json:"micro"`
+	EndToEnd   []e2eResult   `json:"end_to_end"`
+	SchemaNote string        `json:"schema_note"`
+}
+
+func runBenchSuite() {
+	date := time.Now().Format("2006-01-02") //redvet:wallclock — report timestamp, never feeds simulated state
+	rep := benchReport{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		SchemaNote: "ns_per_op/allocs_per_op/bytes_per_op from testing.Benchmark; " +
+			"events_per_sec = engine events per wall second; mb_per_sec for the trace codec",
+	}
+
+	fmt.Fprintln(os.Stderr, "  benchmarking engine (Schedule→Step)...")
+	rep.Micro = append(rep.Micro, microBench("EngineScheduleFire", benchEngineScheduleFire, true, false))
+	fmt.Fprintln(os.Stderr, "  benchmarking DRAM row-hit stream...")
+	rep.Micro = append(rep.Micro, microBench("DRAMRowHitStream", benchDRAMRowHitStream, true, false))
+	fmt.Fprintln(os.Stderr, "  benchmarking trace codec round trip...")
+	rep.Micro = append(rep.Micro, microBench("TraceRoundTrip", benchTraceRoundTrip, false, true))
+
+	for _, pair := range []struct {
+		workload string
+		arch     hbm.Arch
+	}{
+		{"LU", hbm.ArchRedCache},
+		{"LU", hbm.ArchAlloy},
+		{"HIST", hbm.ArchNoHBM},
+	} {
+		fmt.Fprintf(os.Stderr, "  simulating %s/%s (small scale)...\n", pair.workload, pair.arch)
+		rep.EndToEnd = append(rep.EndToEnd, benchEndToEnd(pair.workload, pair.arch))
+	}
+
+	out := *benchOut
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s.json", date)
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	fatalIf(err)
+	data = append(data, '\n')
+	fatalIf(os.WriteFile(out, data, 0o644))
+	fmt.Println("wrote", out)
+}
+
+// microBench runs fn under testing.Benchmark and extracts the standard
+// counters plus the derived throughput metric.
+func microBench(name string, fn func(b *testing.B), perOpEvent, hasBytes bool) microResult {
+	r := testing.Benchmark(fn)
+	m := microResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if perOpEvent && m.NsPerOp > 0 {
+		m.EventsPerSec = 1e9 / m.NsPerOp
+	}
+	if hasBytes && r.T > 0 {
+		m.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	return m
+}
+
+// benchEngineScheduleFire mirrors internal/engine.BenchmarkEngineScheduleFire:
+// 64 self-rescheduling components, one Schedule+Step per op.
+func benchEngineScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	e := engine.New()
+	const comps = 64
+	fns := make([]func(), comps)
+	for i := range fns {
+		i := i
+		delta := int64(i%13 + 1)
+		fns[i] = func() { e.After(delta, fns[i]) }
+	}
+	for i, fn := range fns {
+		e.Schedule(int64(i), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// benchDRAMRowHitStream mirrors internal/dram.BenchmarkDRAMRowHitStream:
+// one op is one read transaction end to end on an open row.
+func benchDRAMRowHitStream(b *testing.B) {
+	b.ReportAllocs()
+	eng := engine.New()
+	iface := &stats.Interface{Name: "bench"}
+	tm := config.PaperHBMTiming()
+	tm.TREFI = 0
+	c := dram.NewController(eng, config.DRAM{
+		Name: "bench",
+		Geometry: config.DRAMGeometry{Channels: 1, RanksPerChan: 1,
+			BanksPerRank: 4, RowBytes: 2048, BusBytes: 16, CapacityB: 1 << 30},
+		Timing: tm,
+	}, iface)
+	noop := func(int64) {}
+	b.ResetTimer()
+	const batch = 256
+	for n := 0; n < b.N; {
+		m := batch
+		if rem := b.N - n; rem < m {
+			m = rem
+		}
+		for j := 0; j < m; j++ {
+			c.Read(mem.Addr((j%32)<<mem.BlockShift), 64, noop)
+		}
+		eng.Run()
+		n += m
+	}
+}
+
+// benchTraceRoundTrip mirrors internal/trace.BenchmarkTraceRoundTrip:
+// one op encodes a deterministic 4×50k-record trace into a reused
+// buffer and decodes it back.
+func benchTraceRoundTrip(b *testing.B) {
+	t := &trace.Trace{Name: "bench"}
+	for s := 0; s < 4; s++ {
+		var bld trace.Builder
+		for i := 0; i < 50000; i++ {
+			bld.Work(i % 7)
+			addr := mem.Addr((s<<24 | i) * mem.BlockSize)
+			if i%5 == 0 {
+				bld.Store(addr)
+			} else {
+				bld.Load(addr)
+			}
+		}
+		t.Streams = append(t.Streams, bld.Stream())
+	}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, t); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := trace.Encode(&buf, t); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.Decode(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEndToEnd runs one whole (workload, arch) simulation at small
+// scale and reports engine-event throughput.  The simulation itself is
+// deterministic; only the wall-clock denominator varies run to run.
+func benchEndToEnd(workload string, arch hbm.Arch) e2eResult {
+	cfg := config.Default()
+	spec, err := workloads.ByLabel(workload)
+	fatalIf(err)
+	tr := spec.Gen(cfg.CPU.Cores, workloads.Small, 1)
+	start := time.Now() //redvet:wallclock — benchmark timing, never feeds simulated state
+	res, err := sim.Run(cfg, arch, tr, nil)
+	fatalIf(err)
+	wall := time.Since(start).Seconds() //redvet:wallclock — benchmark timing, never feeds simulated state
+	return e2eResult{
+		Workload:     workload,
+		Arch:         string(arch),
+		Scale:        "small",
+		Cycles:       res.Cycles,
+		EventsFired:  res.EventsFired,
+		WallSeconds:  wall,
+		EventsPerSec: float64(res.EventsFired) / wall,
+	}
+}

@@ -36,6 +36,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if *benchMode {
+		runBenchSuite()
+		return
+	}
+
 	switch *table {
 	case 1:
 		printTable1()

@@ -4,12 +4,20 @@
 // Usage:
 //
 //	redsim -workload LU -arch RedCache [-scale default] [-seed 1]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace run.trace]
+//
+// The profiling flags wrap the simulation (not trace generation) and
+// emit standard pprof / runtime-trace files for `go tool pprof` and
+// `go tool trace`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rttrace "runtime/trace"
 	"time"
 
 	"redcache/internal/config"
@@ -26,6 +34,9 @@ func main() {
 		scale    = flag.String("scale", "default", "problem size: tiny, small or default")
 		seed     = flag.Int64("seed", 1, "workload PRNG seed")
 		cores    = flag.Int("cores", 0, "override core count (0 = config default)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf  = flag.String("memprofile", "", "write a post-run heap profile to this file")
+		execTr   = flag.String("trace", "", "write a runtime execution trace of the simulation to this file")
 	)
 	flag.Parse()
 
@@ -48,10 +59,34 @@ func main() {
 	}
 
 	tr := spec.Gen(cfg.CPU.Cores, sc, *seed)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		fatalIf(err)
+		defer f.Close()
+		fatalIf(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *execTr != "" {
+		f, err := os.Create(*execTr)
+		fatalIf(err)
+		defer f.Close()
+		fatalIf(rttrace.Start(f))
+		defer rttrace.Stop()
+	}
+
 	start := time.Now() //redvet:wallclock — host-side progress timing, never feeds simulated state
 	res, err := sim.Run(cfg, hbm.Arch(*arch), tr, nil)
 	fatalIf(err)
 	wall := time.Since(start) //redvet:wallclock — host-side progress timing, never feeds simulated state
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		fatalIf(err)
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained memory
+		fatalIf(pprof.WriteHeapProfile(f))
+	}
 
 	fmt.Printf("== %s on %s (%s scale, %d cores, %d records) ==\n",
 		spec.Label, res.Arch, sc, cfg.CPU.Cores, tr.Records())

@@ -22,6 +22,42 @@ type Submitter interface {
 type slot struct {
 	done  int64
 	ready bool
+	// req is the embedded, reused demand-read request for misses served
+	// by the memory subsystem; doneFn is its completion callback, bound
+	// once when the slot is first allocated.  Controllers never retain a
+	// *Request past its completion closure, and a slot is only recycled
+	// after its completion has fired (ready && done <= now), so reuse is
+	// safe.
+	req    mem.Request
+	doneFn func(finish int64)
+}
+
+// slotRing is a fixed-capacity FIFO of in-flight slots.  The window and
+// store buffer are architecturally bounded (MaxOutstanding and
+// StoreBufferSize), so a preallocated ring plus a slot free list keeps
+// the per-record hot path allocation-free; slot pointers stay stable
+// for the completion callbacks that write into them.
+type slotRing struct {
+	buf  []*slot
+	head int
+	n    int
+}
+
+func newSlotRing(capacity int) slotRing { return slotRing{buf: make([]*slot, capacity)} }
+
+func (r *slotRing) len() int     { return r.n }
+func (r *slotRing) full() bool   { return r.n == len(r.buf) }
+func (r *slotRing) front() *slot { return r.buf[r.head] }
+func (r *slotRing) push(s *slot) {
+	r.buf[(r.head+r.n)%len(r.buf)] = s
+	r.n++
+}
+func (r *slotRing) pop() *slot {
+	s := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return s
 }
 
 // Core executes one trace stream.
@@ -36,8 +72,9 @@ type Core struct {
 	stCap  int
 
 	cursor    int
-	window    []*slot // outstanding loads, oldest first
-	stores    []*slot // posted stores awaiting completion
+	window    slotRing // outstanding loads, oldest first
+	stores    slotRing // posted stores awaiting completion
+	freeSlots []*slot  // recycled slots (drained in-flight entries)
 	scheduled bool
 	stalled   bool
 
@@ -51,6 +88,9 @@ type Core struct {
 
 	onFinish  func()
 	lastStall int64
+	// tickFn is the core's single engine callback, created once so
+	// scheduling a step never allocates a closure.
+	tickFn func()
 }
 
 // NewCore builds a core over the shared hierarchy and memory subsystem.
@@ -61,9 +101,15 @@ func NewCore(id int, eng *engine.Engine, hier *cache.Hierarchy, ms Submitter,
 		width:      int64(cfg.IssueWidth),
 		maxOut:     cfg.MaxOutstanding,
 		stCap:      cfg.StoreBufferSize,
+		window:     newSlotRing(cfg.MaxOutstanding),
+		stores:     newSlotRing(cfg.StoreBufferSize),
 		FinishedAt: -1,
 		onFinish:   onFinish,
 		lastStall:  -1,
+	}
+	c.tickFn = func() {
+		c.scheduled = false
+		c.step()
 	}
 	return c
 }
@@ -96,19 +142,33 @@ func (c *Core) schedule(at int64) {
 	if now := c.eng.Now(); at < now {
 		at = now
 	}
-	c.eng.Schedule(at, func() {
-		c.scheduled = false
-		c.step()
-	})
+	c.eng.Schedule(at, c.tickFn)
 }
 
 func (c *Core) drain(now int64) {
-	for len(c.window) > 0 && c.window[0].ready && c.window[0].done <= now {
-		c.window = c.window[1:]
+	for c.window.len() > 0 && c.window.front().ready && c.window.front().done <= now {
+		c.freeSlots = append(c.freeSlots, c.window.pop())
 	}
-	for len(c.stores) > 0 && c.stores[0].ready && c.stores[0].done <= now {
-		c.stores = c.stores[1:]
+	for c.stores.len() > 0 && c.stores.front().ready && c.stores.front().done <= now {
+		c.freeSlots = append(c.freeSlots, c.stores.pop())
 	}
+}
+
+// getSlot reuses a drained slot or allocates a fresh one with its
+// completion callback bound.
+func (c *Core) getSlot() *slot {
+	if n := len(c.freeSlots); n > 0 {
+		s := c.freeSlots[n-1]
+		c.freeSlots = c.freeSlots[:n-1]
+		s.done, s.ready = 0, false
+		return s
+	}
+	s := new(slot)
+	s.doneFn = func(finish int64) {
+		s.done, s.ready = finish, true
+		c.kick()
+	}
+	return s
 }
 
 // kick resumes a core stalled on a memory completion.
@@ -132,12 +192,12 @@ func (c *Core) step() {
 
 	// Structural stalls: full load window or store buffer.  In-order
 	// retirement means the oldest entry gates progress.
-	if !rec.Write && len(c.window) >= c.maxOut {
-		c.stallOn(c.window[0], now)
+	if !rec.Write && c.window.full() {
+		c.stallOn(c.window.front(), now)
 		return
 	}
-	if rec.Write && len(c.stores) >= c.stCap {
-		c.stallOn(c.stores[0], now)
+	if rec.Write && c.stores.full() {
+		c.stallOn(c.stores.front(), now)
 		return
 	}
 	if c.lastStall >= 0 {
@@ -146,26 +206,23 @@ func (c *Core) step() {
 	}
 
 	level, lat := c.hier.Access(c.id, rec.Addr, rec.Write)
-	s := &slot{}
+	s := c.getSlot()
 	if level == cache.Memory {
-		req := &mem.Request{
+		s.req = mem.Request{
 			Addr:   rec.Addr.Align(),
 			Type:   mem.Read, // store misses fetch-for-ownership
 			Core:   c.id,
 			Issued: now,
+			Done:   s.doneFn,
 		}
-		req.Done = func(finish int64) {
-			s.done, s.ready = finish, true
-			c.kick()
-		}
-		c.memsys.Submit(req)
+		c.memsys.Submit(&s.req)
 	} else {
 		s.done, s.ready = now+lat, true
 	}
 	if rec.Write {
-		c.stores = append(c.stores, s)
+		c.stores.push(s)
 	} else {
-		c.window = append(c.window, s)
+		c.window.push(s)
 	}
 
 	c.Instructions += int64(rec.Gap) + 1
@@ -193,7 +250,7 @@ func (c *Core) stallOn(s *slot, now int64) {
 }
 
 func (c *Core) maybeFinish(now int64) {
-	if len(c.window) == 0 && len(c.stores) == 0 {
+	if c.window.len() == 0 && c.stores.len() == 0 {
 		if c.FinishedAt < 0 {
 			c.FinishedAt = now
 			if c.onFinish != nil {
@@ -204,10 +261,10 @@ func (c *Core) maybeFinish(now int64) {
 	}
 	// Wait for the oldest pending slot.
 	var oldest *slot
-	if len(c.window) > 0 {
-		oldest = c.window[0]
+	if c.window.len() > 0 {
+		oldest = c.window.front()
 	} else {
-		oldest = c.stores[0]
+		oldest = c.stores.front()
 	}
 	c.stallOn(oldest, now)
 }

@@ -1,0 +1,63 @@
+package dram
+
+import (
+	"testing"
+
+	"redcache/internal/engine"
+	"redcache/internal/mem"
+	"redcache/internal/stats"
+)
+
+// BenchmarkDRAMRowHitStream measures the FR-FCFS fast path: a stream of
+// reads hitting one open row, enqueued in batches and drained by the
+// engine.  One op is one transaction end to end (enqueue, schedule,
+// issue, completion callback).
+func BenchmarkDRAMRowHitStream(b *testing.B) {
+	eng := engine.New()
+	iface := &stats.Interface{Name: "bench"}
+	c := NewController(eng, testDRAM(4), iface)
+	noop := func(int64) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 256
+	for n := 0; n < b.N; {
+		m := batch
+		if rem := b.N - n; rem < m {
+			m = rem
+		}
+		for j := 0; j < m; j++ {
+			c.Read(rowAddr(c, 0, 0, int64(j%32)), 64, noop)
+		}
+		eng.Run()
+		n += m
+	}
+}
+
+// BenchmarkDRAMMixedStream stresses the scheduler's decision path:
+// reads and posted writes across banks, exercising write-drain
+// watermarks, bus turnaround, and the FR-FCFS scan.
+func BenchmarkDRAMMixedStream(b *testing.B) {
+	eng := engine.New()
+	iface := &stats.Interface{Name: "bench"}
+	c := NewController(eng, testDRAM(8), iface)
+	noop := func(int64) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 256
+	for n := 0; n < b.N; {
+		m := batch
+		if rem := b.N - n; rem < m {
+			m = rem
+		}
+		for j := 0; j < m; j++ {
+			addr := rowAddr(c, int64(j%8), int64(j%4), int64(j%32))
+			if j%3 == 0 {
+				c.Write(addr, mem.BlockSize, nil)
+			} else {
+				c.Read(addr, mem.BlockSize, noop)
+			}
+		}
+		eng.Run()
+		n += m
+	}
+}

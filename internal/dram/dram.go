@@ -84,10 +84,58 @@ type rank struct {
 	actIdx  int
 }
 
+// txnQueue is a power-of-two ring buffer of queued transactions.  The
+// FR-FCFS scheduler removes from arbitrary positions; removeAt shifts
+// whichever side is shorter, so the common oldest-first removal is O(1)
+// and no removal ever reallocates.  FIFO order (and therefore the
+// determinism contract) is preserved exactly: relative order of the
+// remaining transactions never changes.
+type txnQueue struct {
+	buf  []*Txn
+	head int
+	n    int
+}
+
+func (q *txnQueue) len() int { return q.n }
+
+func (q *txnQueue) at(i int) *Txn { return q.buf[(q.head+i)&(len(q.buf)-1)] }
+
+func (q *txnQueue) push(t *Txn) {
+	if q.n == len(q.buf) {
+		grown := make([]*Txn, max(16, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.at(i)
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = t
+	q.n++
+}
+
+// removeAt deletes the i-th oldest transaction, shifting the smaller
+// side of the ring toward the gap.
+func (q *txnQueue) removeAt(i int) {
+	mask := len(q.buf) - 1
+	if i < q.n-1-i {
+		for j := i; j > 0; j-- {
+			q.buf[(q.head+j)&mask] = q.buf[(q.head+j-1)&mask]
+		}
+		q.buf[q.head] = nil
+		q.head = (q.head + 1) & mask
+	} else {
+		for j := i; j < q.n-1; j++ {
+			q.buf[(q.head+j)&mask] = q.buf[(q.head+j+1)&mask]
+		}
+		q.buf[(q.head+q.n-1)&mask] = nil
+	}
+	q.n--
+}
+
 type channel struct {
-	rdq, wrq    []*Txn // split read/write transaction queues
-	drainWr     bool   // write-drain mode (watermark hysteresis)
-	drainBudget int    // writes remaining in the current drain burst
+	rdq, wrq    txnQueue // split read/write transaction queues
+	drainWr     bool     // write-drain mode (watermark hysteresis)
+	drainBudget int      // writes remaining in the current drain burst
 	ranks       []rank
 	busFreeAt   int64 // data bus availability
 	lastColAt   int64 // last column command (tCCD)
@@ -127,6 +175,16 @@ type Controller struct {
 	writeHook WriteHook
 	idleHook  IdleHook
 	observer  Observer
+
+	// txnPool recycles Txn structs: a transaction's fields are dead once
+	// issue() returns (the completion callback is copied into the engine
+	// event, observers run synchronously), so the slot goes back on the
+	// free list instead of to the garbage collector.
+	txnPool []*Txn
+	// wakeFn is the single scheduling-decision callback shared by all
+	// channels; the channel index travels as the event's fixed argument,
+	// so a wake never allocates a closure.
+	wakeFn func(arg uint64)
 
 	// MaxQueue bounds the per-channel transaction queue; Enqueue panics
 	// beyond it to catch upstream flow-control bugs.
@@ -178,7 +236,37 @@ func NewController(eng *engine.Engine, cfg config.DRAM, iface *stats.Interface) 
 			ch.nextRefresh = 1 << 62
 		}
 	}
+	c.wakeFn = func(arg uint64) {
+		chIdx := int(arg)
+		ch := &c.chans[chIdx]
+		// Only the live decision event may run: its timestamp matches
+		// pendingAt, and the engine guarantees Now() equals the firing
+		// time, so this is the same stale-event check the closure-based
+		// implementation captured per event.
+		if !ch.hasPending || ch.pendingAt != c.eng.Now() {
+			return // superseded
+		}
+		ch.hasPending = false
+		c.trySchedule(chIdx)
+	}
 	return c
+}
+
+// getTxn takes a transaction slot from the free list (or allocates one
+// on a cold start).
+func (c *Controller) getTxn() *Txn {
+	if n := len(c.txnPool); n > 0 {
+		t := c.txnPool[n-1]
+		c.txnPool = c.txnPool[:n-1]
+		*t = Txn{}
+		return t
+	}
+	return new(Txn)
+}
+
+// putTxn returns an issued transaction's slot to the free list.
+func (c *Controller) putTxn(t *Txn) {
+	c.txnPool = append(c.txnPool, t)
 }
 
 // SetWriteHook installs the RCU piggyback hook.
@@ -222,20 +310,26 @@ func (c *Controller) Map(addr mem.Addr) Location {
 
 // Read enqueues a read of `bytes` at addr; onDone fires at data return.
 func (c *Controller) Read(addr mem.Addr, bytes int, onDone func(int64)) {
-	c.enqueue(&Txn{Addr: addr, Op: OpRead, Bytes: bytes, onDone: onDone})
+	t := c.getTxn()
+	t.Addr, t.Op, t.Bytes, t.onDone = addr, OpRead, bytes, onDone
+	c.enqueue(t)
 }
 
 // Write enqueues a write of `bytes` at addr; onDone (optional) fires when
 // the write data has been transferred.
 func (c *Controller) Write(addr mem.Addr, bytes int, onDone func(int64)) {
-	c.enqueue(&Txn{Addr: addr, Op: OpWrite, Bytes: bytes, onDone: onDone})
+	t := c.getTxn()
+	t.Addr, t.Op, t.Bytes, t.onDone = addr, OpWrite, bytes, onDone
+	c.enqueue(t)
 }
 
 // WritePriority enqueues a write that is scheduled in arrival order with
 // the reads rather than waiting for a write-drain burst, forcing the bus
 // to turn around for it.
 func (c *Controller) WritePriority(addr mem.Addr, bytes int, onDone func(int64)) {
-	c.enqueue(&Txn{Addr: addr, Op: OpWrite, Bytes: bytes, Prio: true, onDone: onDone})
+	t := c.getTxn()
+	t.Addr, t.Op, t.Bytes, t.Prio, t.onDone = addr, OpWrite, bytes, true, onDone
+	c.enqueue(t)
 }
 
 // Write-drain watermarks: reads are served first; queued writes drain
@@ -254,14 +348,14 @@ const (
 // QueueLen reports the number of queued transactions on addr's channel.
 func (c *Controller) QueueLen(addr mem.Addr) int {
 	ch := &c.chans[c.Map(addr).Channel]
-	return len(ch.rdq) + len(ch.wrq)
+	return ch.rdq.len() + ch.wrq.len()
 }
 
 // TotalQueued reports queued transactions across all channels.
 func (c *Controller) TotalQueued() int {
 	n := 0
 	for i := range c.chans {
-		n += len(c.chans[i].rdq) + len(c.chans[i].wrq)
+		n += c.chans[i].rdq.len() + c.chans[i].wrq.len()
 	}
 	return n
 }
@@ -282,13 +376,13 @@ func (c *Controller) enqueue(t *Txn) {
 	t.Arrive = c.eng.Now()
 	t.Loc = c.Map(t.Addr)
 	ch := &c.chans[t.Loc.Channel]
-	if len(ch.rdq)+len(ch.wrq) >= c.MaxQueue {
+	if ch.rdq.len()+ch.wrq.len() >= c.MaxQueue {
 		panic("dram: transaction queue overflow (missing upstream flow control)")
 	}
 	if t.Op == OpWrite && !t.Prio {
-		ch.wrq = append(ch.wrq, t)
+		ch.wrq.push(t)
 	} else {
-		ch.rdq = append(ch.rdq, t)
+		ch.rdq.push(t)
 	}
 	c.iface.Requests++
 	c.kick(t.Loc.Channel)
@@ -312,13 +406,7 @@ func (c *Controller) wake(chIdx int, at int64) {
 	}
 	ch.hasPending = true
 	ch.pendingAt = at
-	c.eng.Schedule(at, func() {
-		if !ch.hasPending || ch.pendingAt != at {
-			return // superseded
-		}
-		ch.hasPending = false
-		c.trySchedule(chIdx)
-	})
+	c.eng.ScheduleArg(at, c.wakeFn, uint64(chIdx))
 }
 
 // readyAt returns the cycle at which t's *first* DRAM command (precharge
@@ -354,20 +442,21 @@ const pickScan = 16
 // pickFrom implements FR-FCFS within one queue: the oldest row-hit
 // transaction if any exists; otherwise, among the oldest pickScan
 // entries, the one whose bank lets it issue earliest.
-func (c *Controller) pickFrom(ch *channel, q []*Txn) int {
-	for i, t := range q {
+func (c *Controller) pickFrom(ch *channel, q *txnQueue) int {
+	for i := 0; i < q.len(); i++ {
+		t := q.at(i)
 		b := &ch.ranks[t.Loc.Rank].banks[t.Loc.Bank]
 		if b.openRow == t.Loc.Row {
 			return i
 		}
 	}
 	best, bestAt := 0, int64(1)<<62
-	n := len(q)
+	n := q.len()
 	if n > pickScan {
 		n = pickScan
 	}
 	for i := 0; i < n; i++ {
-		if at := c.readyAt(ch, q[i]); at < bestAt {
+		if at := c.readyAt(ch, q.at(i)); at < bestAt {
 			best, bestAt = i, at
 		}
 	}
@@ -376,23 +465,23 @@ func (c *Controller) pickFrom(ch *channel, q []*Txn) int {
 
 // selectQueue applies the write-drain policy and returns the queue to
 // serve plus whether it is the write queue.
-func (c *Controller) selectQueue(ch *channel) (q *[]*Txn, isWrite bool) {
+func (c *Controller) selectQueue(ch *channel) (q *txnQueue, isWrite bool) {
 	serveWrites := false
 	switch {
-	case len(ch.rdq) == 0:
+	case ch.rdq.len() == 0:
 		serveWrites = true
 	case ch.drainWr:
-		if len(ch.wrq) <= wrLoWM || ch.drainBudget <= 0 {
+		if ch.wrq.len() <= wrLoWM || ch.drainBudget <= 0 {
 			ch.drainWr = false
 		} else {
 			serveWrites = true
 		}
-	case len(ch.wrq) >= wrHiWM:
+	case ch.wrq.len() >= wrHiWM:
 		ch.drainWr = true
 		ch.drainBudget = wrBurst
 		serveWrites = true
 	}
-	if serveWrites && len(ch.wrq) > 0 {
+	if serveWrites && ch.wrq.len() > 0 {
 		return &ch.wrq, true
 	}
 	return &ch.rdq, false
@@ -407,11 +496,11 @@ func (c *Controller) trySchedule(chIdx int) {
 	ch := &c.chans[chIdx]
 	now := c.eng.Now()
 
-	if len(ch.rdq)+len(ch.wrq) == 0 {
+	if ch.rdq.len()+ch.wrq.len() == 0 {
 		if c.idleHook != nil {
 			c.idleHook(chIdx)
 		}
-		if len(ch.rdq)+len(ch.wrq) == 0 {
+		if ch.rdq.len()+ch.wrq.len() == 0 {
 			// Idle until the next enqueue.  Refresh for an idle channel
 			// is handled lazily on the next kick; skipped idle refreshes
 			// do not perturb timing.
@@ -430,8 +519,8 @@ func (c *Controller) trySchedule(chIdx int) {
 	}
 
 	q, isWrite := c.selectQueue(ch)
-	idx := c.pickFrom(ch, *q)
-	t := (*q)[idx]
+	idx := c.pickFrom(ch, q)
+	t := q.at(idx)
 	if at := c.readyAt(ch, t); at > now+commitHorizon {
 		// Not issueable soon: leave it queued so a better candidate (a
 		// row hit arriving meanwhile) can overtake, and wake when this
@@ -439,11 +528,12 @@ func (c *Controller) trySchedule(chIdx int) {
 		c.wake(chIdx, at-commitHorizon)
 		return
 	}
-	*q = append((*q)[:idx], (*q)[idx+1:]...)
+	q.removeAt(idx)
 	if isWrite && ch.drainWr {
 		ch.drainBudget--
 	}
 	c.issue(ch, t, now)
+	c.putTxn(t)
 	c.wake(chIdx, now+1)
 }
 
@@ -540,8 +630,9 @@ func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
 	}
 
 	if t.onDone != nil {
-		done := t.onDone
-		c.eng.Schedule(dataEnd, func() { done(dataEnd) })
+		// ScheduleTimed passes the firing cycle (== dataEnd) to onDone,
+		// storing the func value verbatim — no wrapper closure.
+		c.eng.ScheduleTimed(dataEnd, t.onDone)
 	}
 	return dataStart
 }

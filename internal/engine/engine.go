@@ -5,46 +5,39 @@
 // Time is measured in integer CPU cycles.  Events scheduled for the same
 // cycle fire in schedule order (a monotonically increasing sequence
 // number breaks ties), which makes whole-system runs bit-reproducible.
+//
+// The event queue is a value-typed 4-ary min-heap over Event structs:
+// no per-event heap allocation, no interface boxing, and the sift
+// loops are written out by hand so the comparator inlines.  On the
+// steady-state path (queue capacity warmed up, callbacks created once)
+// Schedule followed by Step performs zero allocations — a contract
+// pinned by AllocsPerRun guard tests and relied on by every hot path
+// in internal/dram, internal/cpu, and internal/hbm.
 package engine
 
-import "container/heap"
-
-// Event is a callback bound to a firing time.
+// Event is a callback bound to a firing time.  Exactly one of the
+// three callback fields is set, matching the scheduling variant used:
+// fn (Schedule), fnTimed (ScheduleTimed), or fnArg+arg (ScheduleArg).
+// Events are stored by value inside the heap slice.
 type Event struct {
-	at  int64
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	at      int64
+	seq     uint64
+	fn      func()
+	fnTimed func(now int64)
+	fnArg   func(arg uint64)
+	arg     uint64
 }
 
 // Engine is a discrete-event scheduler.  The zero value is ready to use.
 type Engine struct {
-	now    int64
-	seq    uint64
-	events eventHeap
+	now int64
+	seq uint64
+	// events is a 4-ary min-heap ordered by (at, seq).  4-ary beats
+	// binary here: sift-down does 2x fewer levels (and therefore 2x
+	// fewer cache-missing element moves) at the cost of up to three
+	// extra comparisons per level, which stay within one cache line of
+	// 48 B events.
+	events []Event
 	// Fired counts events executed; useful for run-away detection in tests.
 	Fired uint64
 	// Limit, when nonzero, aborts Run after this many events.
@@ -57,14 +50,120 @@ func New() *Engine { return &Engine{} }
 // Now reports the current simulation time in cycles.
 func (e *Engine) Now() int64 { return e.now }
 
-// Schedule enqueues fn to run at cycle `at`.  Scheduling in the past is a
-// programming error and panics, because it would silently reorder time.
-func (e *Engine) Schedule(at int64, fn func()) {
+// before reports whether (at1, seq1) orders before (at2, seq2).  The
+// pair is unique per event, so this is a strict total order and every
+// correct heap pops the exact same sequence — the determinism contract
+// does not depend on heap arity or sift implementation.
+func before(at1 int64, seq1 uint64, at2 int64, seq2 uint64) bool {
+	return at1 < at2 || (at1 == at2 && seq1 < seq2)
+}
+
+// push inserts ev with a hand-written sift-up: the hole index chases up
+// the parent chain and ev is stored exactly once.
+func (e *Engine) push(ev Event) {
+	h := e.events
+	i := len(h)
+	h = append(h, ev)
+	for i > 0 {
+		p := (i - 1) >> 2
+		if before(h[p].at, h[p].seq, ev.at, ev.seq) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.events = h
+}
+
+// pop removes and returns the minimum event, sifting the last element
+// down from the root by hand.  The vacated tail slot is zeroed so stale
+// callback values cannot pin memory.
+func (e *Engine) pop() Event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = Event{}
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if before(h[j].at, h[j].seq, h[m].at, h[m].seq) {
+					m = j
+				}
+			}
+			if !before(h[m].at, h[m].seq, last.at, last.seq) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	e.events = h
+	return top
+}
+
+// fire invokes ev's callback.
+func (e *Engine) fire(ev *Event) {
+	switch {
+	case ev.fn != nil:
+		ev.fn()
+	case ev.fnTimed != nil:
+		ev.fnTimed(ev.at)
+	default:
+		ev.fnArg(ev.arg)
+	}
+}
+
+// checkTime panics on scheduling in the past, which would silently
+// reorder time.
+func (e *Engine) checkTime(at int64) {
 	if at < e.now {
 		panic("engine: scheduling event in the past")
 	}
+}
+
+// Schedule enqueues fn to run at cycle `at`.  For zero-allocation
+// steady-state scheduling the callback should be created once (per
+// component) and reused; a closure literal at the call site allocates
+// on every call.
+func (e *Engine) Schedule(at int64, fn func()) {
+	e.checkTime(at)
 	e.seq++
-	heap.Push(&e.events, &Event{at: at, seq: e.seq, fn: fn})
+	e.push(Event{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleTimed enqueues fn to run at cycle `at`, passing the firing
+// cycle to the callback.  This is the allocation-free form of the
+// common completion pattern `Schedule(at, func() { done(at) })`: the
+// existing func value is stored in the event verbatim instead of being
+// wrapped in a fresh closure.
+func (e *Engine) ScheduleTimed(at int64, fn func(now int64)) {
+	e.checkTime(at)
+	e.seq++
+	e.push(Event{at: at, seq: e.seq, fnTimed: fn})
+}
+
+// ScheduleArg enqueues fn to run at cycle `at` with a fixed argument.
+// Components that wake many sub-units (e.g. one DRAM channel out of
+// eight) register a single func once and encode the sub-unit index in
+// arg, so the per-wake closure allocation disappears.
+func (e *Engine) ScheduleArg(at int64, fn func(arg uint64), arg uint64) {
+	e.checkTime(at)
+	e.seq++
+	e.push(Event{at: at, seq: e.seq, fnArg: fn, arg: arg})
 }
 
 // After enqueues fn to run delay cycles from now.
@@ -79,29 +178,41 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*Event)
+	ev := e.pop()
 	e.now = ev.at
 	e.Fired++
-	ev.fn()
+	e.fire(&ev)
 	return true
 }
 
 // Run executes events until the queue drains (or Limit is hit) and
-// returns the final simulation time.
+// returns the final simulation time.  The pop loop is inlined rather
+// than delegating to Step, and the Limit check fires *before* an event
+// executes, so the panic triggers at exactly Limit fired events (a run
+// that completes in exactly Limit events does not panic).
 func (e *Engine) Run() int64 {
-	for e.Step() {
+	for len(e.events) > 0 {
 		if e.Limit != 0 && e.Fired >= e.Limit {
 			panic("engine: event limit exceeded (likely a scheduling loop)")
 		}
+		ev := e.pop()
+		e.now = ev.at
+		e.Fired++
+		e.fire(&ev)
 	}
 	return e.now
 }
 
 // RunUntil executes events with firing time <= deadline, advancing the
-// clock to the deadline if the queue drains earlier.
+// clock to the deadline if the queue drains earlier.  Like Run, the pop
+// loop is inlined: the heap head is read once per iteration instead of
+// re-checking emptiness and re-reading it through Step.
 func (e *Engine) RunUntil(deadline int64) {
 	for len(e.events) > 0 && e.events[0].at <= deadline {
-		e.Step()
+		ev := e.pop()
+		e.now = ev.at
+		e.Fired++
+		e.fire(&ev)
 	}
 	if e.now < deadline {
 		e.now = deadline

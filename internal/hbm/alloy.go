@@ -45,7 +45,7 @@ func (c *alloy) handleRead(req *mem.Request) {
 		c.s.Demand.Hits++
 		e.rcount = satInc(e.rcount)
 		e.lastWrite = false
-		c.d.hbm.Read(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+		c.d.hbm.Read(req.Addr, mem.BlockSize, req.TakeDone())
 		return
 	}
 	c.s.Demand.Misses++
@@ -73,7 +73,7 @@ func (c *alloy) handleWrite(req *mem.Request) {
 		e.rcount = satInc(e.rcount)
 		e.dirty = true
 		e.lastWrite = true
-		c.d.hbm.Write(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+		c.d.hbm.Write(req.Addr, mem.BlockSize, req.TakeDone())
 		return
 	}
 	c.s.Demand.Misses++
@@ -89,7 +89,7 @@ func (c *alloy) handleWrite(req *mem.Request) {
 		c.install(e, req.Addr)
 		e.dirty = true
 		e.lastWrite = true
-		c.d.hbm.Write(base, g, func(f int64) { req.Complete(f) })
+		c.d.hbm.Write(base, g, req.TakeDone())
 	}
 	if g > mem.BlockSize {
 		c.d.ddr.Read(base, g, install)

@@ -91,7 +91,7 @@ func (c *bear) handleRead(req *mem.Request) {
 		c.s.Demand.Hits++
 		e.rcount = satInc(e.rcount)
 		e.lastWrite = false
-		c.d.hbm.Read(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+		c.d.hbm.Read(req.Addr, mem.BlockSize, req.TakeDone())
 		return
 	}
 	c.s.Demand.Misses++
@@ -123,12 +123,12 @@ func (c *bear) handleWrite(req *mem.Request) {
 		e.rcount = satInc(e.rcount)
 		e.dirty = true
 		e.lastWrite = true
-		c.d.hbm.Write(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+		c.d.hbm.Write(req.Addr, mem.BlockSize, req.TakeDone())
 		return
 	}
 	// Writeback-probe elimination: absent blocks go straight to DDR4
 	// with no allocation (BEAR does not write-allocate bypassed lines).
 	c.s.Demand.Misses++
 	c.s.DirectToMem++
-	c.d.ddr.Write(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+	c.d.ddr.Write(req.Addr, mem.BlockSize, req.TakeDone())
 }

@@ -25,10 +25,10 @@ func (c *ideal) Submit(req *mem.Request) {
 		c.s.Writes++
 		// Tag-check read, then the data write.
 		c.d.hbm.Read(req.Addr, mem.BlockSize, func(int64) {
-			c.d.hbm.Write(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+			c.d.hbm.Write(req.Addr, mem.BlockSize, req.TakeDone())
 		})
 		return
 	}
 	c.s.Reads++
-	c.d.hbm.Read(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+	c.d.hbm.Read(req.Addr, mem.BlockSize, req.TakeDone())
 }

@@ -19,9 +19,9 @@ func (c *noHBM) Submit(req *mem.Request) {
 	c.s.DirectToMem++
 	if req.Type == mem.Write {
 		c.s.Writes++
-		c.d.ddr.Write(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+		c.d.ddr.Write(req.Addr, mem.BlockSize, req.TakeDone())
 		return
 	}
 	c.s.Reads++
-	c.d.ddr.Read(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+	c.d.ddr.Read(req.Addr, mem.BlockSize, req.TakeDone())
 }

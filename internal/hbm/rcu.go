@@ -45,7 +45,10 @@ type rcuManager struct {
 
 func newRCUManager(hbm *dram.Controller, capacity int, st *RCUStats,
 	persist func(mem.Addr, uint8)) *rcuManager {
-	return &rcuManager{hbm: hbm, cap: capacity, st: st, persist: persist}
+	// The entry count is bounded by the CAM capacity; preallocating keeps
+	// every put/flush cycle reallocation-free for the whole run.
+	return &rcuManager{hbm: hbm, cap: capacity, st: st, persist: persist,
+		entries: make([]rcuEntry, 0, capacity)}
 }
 
 // Len reports the number of pending updates.
@@ -154,5 +157,5 @@ func (r *rcuManager) drain() {
 		r.persist(e.addr, e.count)
 		r.hbm.Write(e.addr, rcUpdateBytes, nil)
 	}
-	r.entries = nil
+	r.entries = r.entries[:0]
 }

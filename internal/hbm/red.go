@@ -205,7 +205,9 @@ func (c *red) Submit(req *mem.Request) {
 				c.s.RCU.BlockHits++
 				c.s.Demand.Hits++
 				finish := c.d.eng.Now() + rcuHitLatency
-				c.d.eng.Schedule(finish, func() { req.Complete(finish) })
+				if done := req.TakeDone(); done != nil {
+					c.d.eng.ScheduleTimed(finish, done)
+				}
 				return
 			}
 		}
@@ -222,10 +224,10 @@ func (c *red) Submit(req *mem.Request) {
 func (c *red) direct(req *mem.Request) {
 	c.s.DirectToMem++
 	if req.Type == mem.Write {
-		c.d.ddr.Write(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+		c.d.ddr.Write(req.Addr, mem.BlockSize, req.TakeDone())
 		return
 	}
-	c.d.ddr.Read(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+	c.d.ddr.Read(req.Addr, mem.BlockSize, req.TakeDone())
 }
 
 // persistRCount pays whatever the variant charges for keeping the fresh
@@ -258,7 +260,7 @@ func (c *red) handleRead(req *mem.Request) {
 	g := c.tags.granularity()
 	if hit {
 		c.s.Demand.Hits++
-		c.d.hbm.Read(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+		c.d.hbm.Read(req.Addr, mem.BlockSize, req.TakeDone())
 		if c.f.gamma {
 			fresh := satInc(c.visibleCount(e, req.Addr))
 			e.lastWrite = false
@@ -279,7 +281,7 @@ func (c *red) handleRead(req *mem.Request) {
 		// and likely mid-life, so serve the newcomer from DDR4 and skip
 		// the writeback + install round trip.
 		c.s.FillBypass++
-		c.d.ddr.Read(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+		c.d.ddr.Read(req.Addr, mem.BlockSize, req.TakeDone())
 		return
 	}
 	base := c.frameBase(req.Addr.Align())
@@ -334,13 +336,13 @@ func (c *red) handleWrite(req *mem.Request) {
 				c.retire(e, false) // data goes to DDR4 below, no victim WB
 				e.valid = false
 				c.noteInvalidation(req.Addr)
-				c.d.ddr.Write(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+				c.d.ddr.Write(req.Addr, mem.BlockSize, req.TakeDone())
 				return
 			}
 		}
 		e.dirty = true
 		e.lastWrite = true
-		c.d.hbm.Write(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+		c.d.hbm.Write(req.Addr, mem.BlockSize, req.TakeDone())
 		return
 	}
 	c.s.Demand.Misses++
@@ -350,7 +352,7 @@ func (c *red) handleWrite(req *mem.Request) {
 	if c.keepDirtyVictim(e) {
 		// §IV-D: keep the young dirty victim, send the writeback to DDR4.
 		c.s.FillBypass++
-		c.d.ddr.Write(req.Addr, mem.BlockSize, func(f int64) { req.Complete(f) })
+		c.d.ddr.Write(req.Addr, mem.BlockSize, req.TakeDone())
 		return
 	}
 	// Write-allocate, evicting any old resident.
@@ -365,7 +367,7 @@ func (c *red) handleWrite(req *mem.Request) {
 		c.install(e, req.Addr)
 		e.dirty = true
 		e.lastWrite = true
-		c.d.hbm.Write(base, g, func(f int64) { req.Complete(f) })
+		c.d.hbm.Write(base, g, req.TakeDone())
 	}
 	if g > mem.BlockSize {
 		c.d.ddr.Read(base, g, install)

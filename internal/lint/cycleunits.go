@@ -82,7 +82,8 @@ func checkTruncation(pass *Pass, call *ast.CallExpr) {
 }
 
 // checkMagicDelay flags integer literals (other than 0 and 1) inside
-// the time argument of engine.Engine.After/Schedule calls.
+// the time argument of engine.Engine.After and Schedule-family calls
+// (Schedule, ScheduleTimed, ScheduleArg).
 func checkMagicDelay(pass *Pass, call *ast.CallExpr) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || len(call.Args) < 1 {
@@ -92,7 +93,7 @@ func checkMagicDelay(pass *Pass, call *ast.CallExpr) {
 	if !ok {
 		return
 	}
-	if fn.Name() != "After" && fn.Name() != "Schedule" {
+	if fn.Name() != "After" && !strings.HasPrefix(fn.Name(), "Schedule") {
 		return
 	}
 	sig := fn.Type().(*types.Signature)

@@ -33,11 +33,23 @@ func magicSchedule(eng *engine.Engine) {
 	eng.Schedule(eng.Now()+42, func() {}) // want `magic latency literal 42`
 }
 
+// bad: the allocation-free scheduling variants carry the same unit
+// contract as Schedule.
+func magicScheduleTimed(eng *engine.Engine) {
+	eng.ScheduleTimed(eng.Now()+17, func(int64) {}) // want `magic latency literal 17`
+}
+
+func magicScheduleArg(eng *engine.Engine) {
+	eng.ScheduleArg(eng.Now()+33, func(uint64) {}, 0) // want `magic latency literal 33`
+}
+
 // good: named latencies, zero delay, and the +1 tie-break cycle.
 func namedDelay(eng *engine.Engine, tCAS int64) {
 	eng.After(tCAS, func() {})
 	eng.After(0, func() {})
 	eng.Schedule(eng.Now()+1, func() {})
+	eng.ScheduleTimed(eng.Now()+tCAS, func(int64) {})
+	eng.ScheduleArg(eng.Now()+1, func(uint64) {}, 42)
 }
 
 // good: justified narrowing with a documented bound.

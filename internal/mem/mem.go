@@ -83,6 +83,16 @@ type Request struct {
 	Done func(finish int64)
 }
 
+// TakeDone detaches and returns the completion callback (possibly nil).
+// Handing the raw func to a scheduler instead of wrapping r.Complete in
+// a fresh closure keeps controller hot paths allocation-free; the
+// exactly-once obligation transfers to the caller along with the func.
+func (r *Request) TakeDone() func(finish int64) {
+	done := r.Done
+	r.Done = nil
+	return done
+}
+
 // Complete invokes Done if set.  Controllers must call it exactly once.
 func (r *Request) Complete(finish int64) {
 	if r.Done != nil {

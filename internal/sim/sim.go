@@ -31,6 +31,10 @@ type Result struct {
 	Ctl      hbm.Stats
 	L3       stats.CacheStats
 	Energy   energy.Breakdown
+
+	// EventsFired counts engine events executed over the whole run — the
+	// denominator for events/sec throughput reporting in cmd/redbench.
+	EventsFired uint64
 }
 
 // Seconds converts cycles to wall time at the configured frequency.
@@ -120,6 +124,7 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (*Res
 
 	res.Cycles = cx.AllDoneAt
 	res.Instructions = cx.Instructions()
+	res.EventsFired = eng.Fired
 	res.Ctl = *ctl.Stats()
 	res.L3 = *cx.Hier.L3Stats()
 

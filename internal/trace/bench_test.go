@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"redcache/internal/mem"
+)
+
+// benchTrace builds a deterministic 4-stream trace of ~200k records.
+func benchTrace() *Trace {
+	t := &Trace{Name: "bench"}
+	for s := 0; s < 4; s++ {
+		var bld Builder
+		for i := 0; i < 50000; i++ {
+			bld.Work(i % 7)
+			addr := mem.Addr((s<<24 | i) * mem.BlockSize)
+			if i%5 == 0 {
+				bld.Store(addr)
+			} else {
+				bld.Load(addr)
+			}
+		}
+		t.Streams = append(t.Streams, bld.Stream())
+	}
+	return t
+}
+
+// BenchmarkTraceRoundTrip measures the binary codec: one op encodes the
+// whole trace to a reused buffer and decodes it back.
+func BenchmarkTraceRoundTrip(b *testing.B) {
+	t := benchTrace()
+	var buf bytes.Buffer
+	if err := Encode(&buf, t); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Encode(&buf, t); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -153,6 +153,16 @@ func (b *Builder) Len() int { return len(b.stream) }
 //	    uint16 gap | uint8 flags | uint64 addr  (little endian)
 var magic = [4]byte{'R', 'C', 'T', '1'}
 
+// recSize is the encoded size of one record; recBatch records are staged
+// in one reused buffer per codec call, so the per-record cost is a fixed
+// 11 B memory copy rather than a bufio call (and, on decode, a parse out
+// of a bulk-read chunk).  The batch buffer is ~5.6 KB — small enough to
+// stay cache-resident, large enough to amortize the io calls.
+const (
+	recSize  = 11
+	recBatch = 512
+)
+
 // Encode writes t to w in the binary trace format.
 func Encode(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
@@ -171,22 +181,29 @@ func Encode(w io.Writer, t *Trace) error {
 	if _, err := bw.WriteString(t.Name); err != nil {
 		return err
 	}
-	var rec [11]byte
+	var chunk [recSize * recBatch]byte
 	for _, s := range t.Streams {
 		var cnt [8]byte
 		binary.LittleEndian.PutUint64(cnt[:], uint64(len(s)))
 		if _, err := bw.Write(cnt[:]); err != nil {
 			return err
 		}
-		for _, r := range s {
-			binary.LittleEndian.PutUint16(rec[0:2], r.Gap)
-			if r.Write {
-				rec[2] = 1
-			} else {
-				rec[2] = 0
+		for off := 0; off < len(s); off += recBatch {
+			n := len(s) - off
+			if n > recBatch {
+				n = recBatch
 			}
-			binary.LittleEndian.PutUint64(rec[3:], uint64(r.Addr))
-			if _, err := bw.Write(rec[:]); err != nil {
+			for i, r := range s[off : off+n] {
+				rec := chunk[i*recSize:]
+				binary.LittleEndian.PutUint16(rec[0:2], r.Gap)
+				if r.Write {
+					rec[2] = 1
+				} else {
+					rec[2] = 0
+				}
+				binary.LittleEndian.PutUint64(rec[3:recSize], uint64(r.Addr))
+			}
+			if _, err := bw.Write(chunk[:n*recSize]); err != nil {
 				return err
 			}
 		}
@@ -218,7 +235,7 @@ func Decode(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	t := &Trace{Name: string(name), Streams: make([]Stream, cores)}
-	var rec [11]byte
+	var chunk [recSize * recBatch]byte
 	for i := range t.Streams {
 		var cnt [8]byte
 		if _, err := io.ReadFull(br, cnt[:]); err != nil {
@@ -229,14 +246,21 @@ func Decode(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: implausible record count %d", n)
 		}
 		s := make(Stream, n)
-		for j := range s {
-			if _, err := io.ReadFull(br, rec[:]); err != nil {
+		for off := 0; off < len(s); off += recBatch {
+			k := len(s) - off
+			if k > recBatch {
+				k = recBatch
+			}
+			if _, err := io.ReadFull(br, chunk[:k*recSize]); err != nil {
 				return nil, err
 			}
-			s[j] = Record{
-				Gap:   binary.LittleEndian.Uint16(rec[0:2]),
-				Write: rec[2] != 0,
-				Addr:  mem.Addr(binary.LittleEndian.Uint64(rec[3:])),
+			for j := 0; j < k; j++ {
+				rec := chunk[j*recSize:]
+				s[off+j] = Record{
+					Gap:   binary.LittleEndian.Uint16(rec[0:2]),
+					Write: rec[2] != 0,
+					Addr:  mem.Addr(binary.LittleEndian.Uint64(rec[3:recSize])),
+				}
 			}
 		}
 		t.Streams[i] = s
