@@ -15,6 +15,7 @@ import (
 	"redcache/internal/engine"
 	"redcache/internal/hbm"
 	"redcache/internal/mem"
+	"redcache/internal/obs"
 	"redcache/internal/sim"
 	"redcache/internal/stats"
 	"redcache/internal/trace"
@@ -79,6 +80,10 @@ func runBenchSuite() {
 	rep.Micro = append(rep.Micro, microBench("DRAMRowHitStream", benchDRAMRowHitStream, true, false))
 	fmt.Fprintln(os.Stderr, "  benchmarking trace codec round trip...")
 	rep.Micro = append(rep.Micro, microBench("TraceRoundTrip", benchTraceRoundTrip, false, true))
+	fmt.Fprintln(os.Stderr, "  benchmarking telemetry epoch sample...")
+	rep.Micro = append(rep.Micro, microBench("TelemetrySample", benchTelemetrySample, true, false))
+	fmt.Fprintln(os.Stderr, "  benchmarking disabled tracer emit...")
+	rep.Micro = append(rep.Micro, microBench("TracerEmitDisabled", benchTracerEmitDisabled, true, false))
 
 	for _, pair := range []struct {
 		workload string
@@ -206,6 +211,43 @@ func benchTraceRoundTrip(b *testing.B) {
 		if _, err := trace.Decode(bytes.NewReader(buf.Bytes())); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchTelemetrySample mirrors internal/obs.BenchmarkTelemetrySample:
+// one op snapshots a ~50-probe registry into the ring series.
+func benchTelemetrySample(b *testing.B) {
+	b.ReportAllocs()
+	tel, err := obs.New(obs.Options{EpochCycles: 100, SeriesCap: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j",
+		"k", "l", "m", "n", "o", "p", "q", "r", "s", "t",
+		"u", "v", "w", "x", "y"}
+	var cnt int64
+	for _, n := range names {
+		tel.Reg.Counter("bench."+n+".count", func() int64 { return cnt })
+		tel.Reg.Gauge("bench."+n+".gauge", func() int64 { return cnt })
+	}
+	tel.Start()
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 100
+		cnt++
+		tel.Sample(now)
+	}
+}
+
+// benchTracerEmitDisabled mirrors internal/obs.BenchmarkTracerEmitDisabled:
+// the telemetry-off cost every instrumented hot path pays.
+func benchTracerEmitDisabled(b *testing.B) {
+	b.ReportAllocs()
+	var tr *obs.Tracer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(obs.EvBypass, uint64(i), 1, 2)
 	}
 }
 

@@ -9,6 +9,7 @@
 //	redbench -scale small    # faster, smaller problem sizes
 //	redbench -csv out/       # also write CSV files
 //	redbench -table 1        # print Table I / Table II
+//	redbench -fig epochbw    # per-epoch bandwidth time series (telemetry)
 package main
 
 import (
@@ -26,13 +27,15 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2a, 2b, 3, 9, 10, 11, stats, ablation or all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 2a, 2b, 3, 9, 10, 11, stats, ablation, epochbw or all")
 		scale   = flag.String("scale", "default", "problem size: tiny, small or default")
 		csvDir  = flag.String("csv", "", "directory to write CSV outputs into")
 		table   = flag.Int("table", 0, "print Table 1 (config) or 2 (workloads) and exit")
 		quiet   = flag.Bool("q", false, "suppress per-run progress")
 		only    = flag.String("workloads", "", "comma-separated workload subset (default: all 11)")
 		workers = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		epoch   = flag.Int64("epoch", 100000, "telemetry epoch length in CPU cycles (-fig epochbw)")
+		epochWl = flag.String("epochbw-workload", "LU", "workload for the -fig epochbw time series")
 	)
 	flag.Parse()
 
@@ -198,6 +201,16 @@ func main() {
 					p.Name, p.RelTime, p.RelHBMEnergy)
 			}
 		}
+	}
+
+	// Like ablation, the epoch-bandwidth series is opt-in: it needs one
+	// extra telemetry-enabled simulation on top of the memoized figures.
+	if *fig == "epochbw" {
+		csv, err := suite.EpochBandwidthCSV(*epochWl, hbm.ArchRedCache, *epoch)
+		fatalIf(err)
+		fmt.Printf("\n== Per-epoch bandwidth (%s, RedCache, epoch %d cycles) ==\n", *epochWl, *epoch)
+		fmt.Print(csv)
+		writeCSV("epochbw.csv", csv)
 	}
 
 	if want("stats") {

@@ -4,7 +4,13 @@
 // Usage:
 //
 //	redsim -workload LU -arch RedCache [-scale default] [-seed 1]
+//	       [-telemetry out/ -epoch 100000 [-events]]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace run.trace]
+//
+// -telemetry enables cycle-domain telemetry (internal/obs): probes are
+// sampled every -epoch cycles and written to <dir>/series.jsonl and
+// <dir>/series.csv; -events additionally records the structured event
+// trace to <dir>/events.jsonl.  Output is byte-identical across runs.
 //
 // The profiling flags wrap the simulation (not trace generation) and
 // emit standard pprof / runtime-trace files for `go tool pprof` and
@@ -22,6 +28,7 @@ import (
 
 	"redcache/internal/config"
 	"redcache/internal/hbm"
+	"redcache/internal/obs"
 	"redcache/internal/sim"
 	"redcache/internal/stats"
 	"redcache/internal/workloads"
@@ -37,6 +44,9 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProf  = flag.String("memprofile", "", "write a post-run heap profile to this file")
 		execTr   = flag.String("trace", "", "write a runtime execution trace of the simulation to this file")
+		telDir   = flag.String("telemetry", "", "write epoch telemetry (series.jsonl, series.csv) to this directory")
+		epoch    = flag.Int64("epoch", 100000, "telemetry sampling period in CPU cycles")
+		events   = flag.Bool("events", false, "with -telemetry, also write the structured event trace (events.jsonl)")
 	)
 	flag.Parse()
 
@@ -75,10 +85,19 @@ func main() {
 		defer rttrace.Stop()
 	}
 
+	var opts *sim.Options
+	if *telDir != "" {
+		opts = &sim.Options{Telemetry: &obs.Options{EpochCycles: *epoch, TraceEvents: *events}}
+	}
+
 	start := time.Now() //redvet:wallclock — host-side progress timing, never feeds simulated state
-	res, err := sim.Run(cfg, hbm.Arch(*arch), tr, nil)
+	res, err := sim.Run(cfg, hbm.Arch(*arch), tr, opts)
 	fatalIf(err)
 	wall := time.Since(start) //redvet:wallclock — host-side progress timing, never feeds simulated state
+
+	if *telDir != "" {
+		fatalIf(writeTelemetry(*telDir, res.Telemetry, *events))
+	}
 
 	if *memProf != "" {
 		f, err := os.Create(*memProf)

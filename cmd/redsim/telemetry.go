@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"redcache/internal/obs"
+)
+
+// writeTelemetry exports the run's telemetry into dir: the epoch series
+// as JSONL and CSV, and (with -events) the structured event trace.  The
+// summary line it prints is parsed by the CI smoke step, which checks
+// the sample count against the emitted row count.
+func writeTelemetry(dir string, tel *obs.Telemetry, events bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, emit func(*os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	ser := tel.Series()
+	if err := write("series.jsonl", func(f *os.File) error {
+		return obs.WriteSeriesJSONL(f, ser)
+	}); err != nil {
+		return err
+	}
+	if err := write("series.csv", func(f *os.File) error {
+		return obs.WriteSeriesCSV(f, ser)
+	}); err != nil {
+		return err
+	}
+	nEvents := 0
+	if events {
+		nEvents = tel.Tracer.Len()
+		if err := write("events.jsonl", func(f *os.File) error {
+			return obs.WriteEventsJSONL(f, tel.Tracer)
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("telemetry: %d samples x %d probes, %d events -> %s\n",
+		tel.Rows(), tel.Reg.Len(), nEvents, dir)
+	if ser.DroppedRows > 0 {
+		fmt.Printf("telemetry: ring full, oldest %d rows dropped\n", ser.DroppedRows)
+	}
+	if d := tel.Tracer.DroppedEvents; d > 0 {
+		fmt.Printf("telemetry: event ring full, oldest %d events dropped\n", d)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Plotgamma: render the evolution of one telemetry probe — by default
+// RedCache's γ invalidation threshold — as an ASCII time series from a
+// `redsim -telemetry` JSONL export.  Stdlib only; pipe-friendly.
+//
+// Usage:
+//
+//	go run ./cmd/redsim -workload LU -arch RedCache -scale small \
+//	    -telemetry /tmp/tel -epoch 100000
+//	go run ./examples/plotgamma -in /tmp/tel/series.jsonl
+//	go run ./examples/plotgamma -in /tmp/tel/series.jsonl -probe red.alpha
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+)
+
+func main() {
+	in := flag.String("in", "series.jsonl", "series.jsonl written by redsim -telemetry")
+	probe := flag.String("probe", "red.gamma", "probe column to plot")
+	width := flag.Int("width", 50, "bar width in characters")
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	type point struct {
+		cycle int64
+		val   float64
+	}
+	var pts []point
+	max := 0.0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var row map[string]float64
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			log.Fatalf("%s: %v", *in, err)
+		}
+		v, ok := row[*probe]
+		if !ok {
+			log.Fatalf("probe %q not in %s (telemetry was recorded without it?)", *probe, *in)
+		}
+		pts = append(pts, point{cycle: int64(row["cycle"]), val: v})
+		if v > max {
+			max = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(pts) == 0 {
+		log.Fatalf("%s: no epochs (run redsim with a smaller -epoch?)", *in)
+	}
+
+	fmt.Printf("%s over %d epochs (max %g)\n", *probe, len(pts), max)
+	for _, p := range pts {
+		n := 0
+		if max > 0 {
+			n = int(p.val / max * float64(*width))
+		}
+		fmt.Printf("%12d |%-*s| %g\n", p.cycle, *width, strings.Repeat("█", n), p.val)
+	}
+}

@@ -1,0 +1,19 @@
+package cpu
+
+import "redcache/internal/obs"
+
+// LoadStallCycles sums cycles lost to a full load window across cores.
+func (cx *Complex) LoadStallCycles() int64 {
+	var n int64
+	for _, c := range cx.Cores {
+		n += c.LoadStallCycles
+	}
+	return n
+}
+
+// RegisterProbes registers the CPU-side probe set: per-epoch retired
+// instructions and load-stall cycles, summed over the complex.
+func (cx *Complex) RegisterProbes(r *obs.Registry) {
+	r.Counter("cpu.instructions", cx.Instructions)
+	r.Counter("cpu.load_stall_cycles", cx.LoadStallCycles)
+}

@@ -1,0 +1,11 @@
+package dram
+
+import "redcache/internal/obs"
+
+// RegisterProbes registers this controller's channel-model probes under
+// prefix ("hbm" or "ddr").  Interface traffic probes are registered
+// separately via obs.RegisterInterface on the shared stats.Interface.
+func (c *Controller) RegisterProbes(r *obs.Registry, prefix string) {
+	r.Gauge(prefix+".queue_depth", func() int64 { return int64(c.TotalQueued()) })
+	r.Counter(prefix+".refreshes", func() int64 { return c.iface.Refreshes })
+}

@@ -1,0 +1,49 @@
+package engine
+
+// Periodic is a fixed-period self-rescheduling callback, the engine-side
+// driver for epoch-domain work such as telemetry sampling.  The tick
+// closure is bound once at construction and reused on every reschedule,
+// so steady-state ticking performs zero allocations.
+type Periodic struct {
+	e       *Engine
+	period  int64
+	fn      func(now int64)
+	tick    func(now int64)
+	stopped bool
+}
+
+// SchedulePeriodic arranges for fn to run every period cycles, first
+// firing period cycles from now.  The callback auto-stops once it fires
+// with an otherwise-empty queue: Run drains the queue to completion, so
+// an unconditional reschedule would keep the simulation alive forever.
+// The final partial period is therefore never observed by fn — callers
+// that need end-of-run state flush it explicitly after Run returns.
+func (e *Engine) SchedulePeriodic(period int64, fn func(now int64)) *Periodic {
+	if period <= 0 {
+		panic("engine: periodic period must be positive")
+	}
+	p := &Periodic{e: e, period: period, fn: fn}
+	p.tick = p.run
+	e.ScheduleTimed(e.now+period, p.tick)
+	return p
+}
+
+func (p *Periodic) run(now int64) {
+	if p.stopped {
+		return
+	}
+	p.fn(now)
+	if p.e.Pending() == 0 {
+		p.stopped = true
+		return
+	}
+	p.e.ScheduleTimed(now+p.period, p.tick)
+}
+
+// Stop cancels future firings.  The already-queued tick still pops but
+// returns immediately.
+func (p *Periodic) Stop() { p.stopped = true }
+
+// Stopped reports whether the periodic has stopped (explicitly or via
+// queue-drain auto-stop).
+func (p *Periodic) Stopped() bool { return p.stopped }

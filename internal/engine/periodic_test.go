@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPeriodicFiresEveryPeriod(t *testing.T) {
+	e := New()
+	var fired []int64
+	p := e.SchedulePeriodic(10, func(now int64) { fired = append(fired, now) })
+
+	// Keep the queue busy through cycle 35 so the periodic survives
+	// three ticks; the tick at 40 sees an empty queue and auto-stops.
+	noop := func() {}
+	for at := int64(1); at <= 35; at += 2 {
+		e.Schedule(at, noop)
+	}
+	e.Run()
+
+	want := []int64{10, 20, 30, 40}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	if !p.Stopped() {
+		t.Fatal("periodic should auto-stop once the queue drains")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("queue not drained: %d pending", e.Pending())
+	}
+}
+
+func TestPeriodicAutoStopTerminatesRun(t *testing.T) {
+	e := New()
+	ticks := 0
+	e.SchedulePeriodic(5, func(int64) { ticks++ })
+	// Nothing else scheduled: the very first tick must stop the chain or
+	// Run would never return.
+	e.Run()
+	if ticks != 1 {
+		t.Fatalf("ticks = %d, want 1", ticks)
+	}
+}
+
+func TestPeriodicStop(t *testing.T) {
+	e := New()
+	ticks := 0
+	var p *Periodic
+	p = e.SchedulePeriodic(10, func(now int64) {
+		ticks++
+		if now == 20 {
+			p.Stop()
+		}
+	})
+	noop := func() {}
+	for at := int64(1); at <= 95; at += 2 {
+		e.Schedule(at, noop)
+	}
+	e.Run()
+	if ticks != 2 {
+		t.Fatalf("ticks = %d, want 2 (stopped after the tick at 20)", ticks)
+	}
+}
+
+func TestPeriodicRejectsNonPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for period 0")
+		}
+	}()
+	New().SchedulePeriodic(0, func(int64) {})
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"redcache/internal/hbm"
 	"redcache/internal/workloads"
 )
 
@@ -36,6 +37,14 @@ func renderReports(t *testing.T, s *Suite) []byte {
 		t.Fatal(err)
 	}
 	ts.WriteTable(&buf)
+
+	// Telemetry-enabled run: the per-epoch bandwidth series must be as
+	// byte-stable across serial/parallel harness runs as the figures.
+	bw, err := s.EpochBandwidthCSV("LU", hbm.ArchRedCache, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(bw)
 	return buf.Bytes()
 }
 

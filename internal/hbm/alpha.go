@@ -3,6 +3,7 @@ package hbm
 import (
 	"redcache/internal/config"
 	"redcache/internal/mem"
+	"redcache/internal/obs"
 )
 
 // alphaTable implements the alpha-counting mechanism of §III-A-1: one
@@ -46,6 +47,9 @@ type alphaTable struct {
 
 	// fetch is invoked on a buffer miss to model the page-table ride.
 	fetch func(page mem.PageID)
+
+	// tr traces admissions and α moves (nil unless telemetry is wired).
+	tr *obs.Tracer
 }
 
 func newAlphaTable(p config.RedCacheParams, fetch func(mem.PageID)) *alphaTable {
@@ -92,6 +96,7 @@ func (a *alphaTable) observe(page mem.PageID, st *Stats) bool {
 	if int(c) >= a.alpha*mem.BlocksPerPage {
 		a.admitted[page] = true
 		st.Alpha.Admissions++
+		a.tr.Emit(obs.EvAdmission, uint64(page), int64(a.alpha), int64(c))
 		delete(a.counts, page)
 		return true
 	}
@@ -150,6 +155,7 @@ func (a *alphaTable) maybeAdapt(st *Stats, sig adaptSignals) {
 		ddrU = float64(sig.ddrBusy-a.baseDDRBusy) / float64(elapsed)
 	}
 
+	old := a.alpha
 	switch {
 	case dDemand > a.p.AlphaEpoch/8 && fillShare > 0.10 && hitRate < 0.70 &&
 		hbmU >= ddrU && a.alpha < a.p.AlphaMax:
@@ -168,6 +174,9 @@ func (a *alphaTable) maybeAdapt(st *Stats, sig adaptSignals) {
 		// admission is too strict, lower the bar.
 		a.alpha--
 		st.Alpha.Adaptations++
+	}
+	if a.alpha != old {
+		a.tr.Emit(obs.EvAlphaMove, 0, int64(old), int64(a.alpha))
 	}
 	st.Alpha.FinalAlpha = a.alpha
 

@@ -1,13 +1,18 @@
 package hbm
 
-import "redcache/internal/mem"
+import (
+	"redcache/internal/mem"
+	"redcache/internal/obs"
+)
 
 // ctlBase carries the state every real cache controller shares: the
-// functional tag store, statistics, and victim bookkeeping.
+// functional tag store, statistics, victim bookkeeping, and the event
+// tracer (nil unless telemetry is wired — Emit on nil is a no-op).
 type ctlBase struct {
 	d    deps
 	s    Stats
 	tags *tagStore
+	tr   *obs.Tracer
 }
 
 func newCtlBase(d deps) ctlBase {

@@ -15,6 +15,7 @@ import (
 	"redcache/internal/dram"
 	"redcache/internal/engine"
 	"redcache/internal/mem"
+	"redcache/internal/obs"
 	"redcache/internal/stats"
 )
 
@@ -56,6 +57,10 @@ type Controller interface {
 	Name() Arch
 	// Stats exposes the controller-level statistics.
 	Stats() *Stats
+	// RegisterTelemetry registers the controller's probes with tel's
+	// registry and wires the event tracer into instrumented paths.
+	// Called at wire-up, before the first Submit.
+	RegisterTelemetry(tel *obs.Telemetry)
 	// Drain flushes any internal buffers (RCU queue) at end of run.
 	Drain()
 }

@@ -3,6 +3,7 @@ package hbm
 import (
 	"redcache/internal/dram"
 	"redcache/internal/mem"
+	"redcache/internal/obs"
 )
 
 // rcuManager implements the r-count update manager of §III-C: a 32-entry
@@ -41,6 +42,8 @@ type rcuManager struct {
 	// persist applies a flushed count to the controller's tag state (the
 	// simulator's stand-in for DRAM contents).
 	persist func(addr mem.Addr, count uint8)
+	// tr traces update dispositions (nil unless telemetry is wired).
+	tr *obs.Tracer
 }
 
 func newRCUManager(hbm *dram.Controller, capacity int, st *RCUStats,
@@ -79,11 +82,13 @@ func (r *rcuManager) put(addr mem.Addr, count uint8) {
 	}
 	if len(r.entries) >= r.cap {
 		r.st.Dropped++
+		r.tr.Emit(obs.EvRCUOverflow, uint64(r.entries[0].addr), int64(r.entries[0].count), 0)
 		copy(r.entries, r.entries[1:])
 		r.entries = r.entries[:len(r.entries)-1]
 	}
 	r.st.Enqueued++
 	r.entries = append(r.entries, rcuEntry{addr: addr, loc: r.hbm.Map(addr), count: count})
+	r.tr.Emit(obs.EvRCUEnqueue, uint64(addr), int64(count), int64(len(r.entries)))
 }
 
 // lookup returns the pending count for addr, if any.
@@ -104,6 +109,7 @@ func (r *rcuManager) onWrite(loc dram.Location) int {
 		if e.loc.SameRow(loc) {
 			n++
 			r.st.Piggyback++
+			r.tr.Emit(obs.EvRCUPiggyback, uint64(e.addr), int64(e.count), 0)
 			r.persist(e.addr, e.count)
 			continue
 		}
@@ -127,6 +133,7 @@ func (r *rcuManager) onIdle(ch int) {
 	for _, e := range r.entries {
 		if budget > 0 && e.loc.Channel == ch {
 			r.st.IdleFlush++
+			r.tr.Emit(obs.EvRCUIdleFlush, uint64(e.addr), int64(e.count), 0)
 			r.persist(e.addr, e.count)
 			r.hbm.Write(e.addr, rcUpdateBytes, nil)
 			budget--

@@ -2,6 +2,7 @@ package hbm
 
 import (
 	"redcache/internal/mem"
+	"redcache/internal/obs"
 )
 
 // redFlags select which of the proposed mechanisms a RedCache variant
@@ -104,6 +105,7 @@ func (c *red) Gamma() int { return c.gamma }
 // their next access into a miss.
 func (c *red) updateGamma(rcount uint8) {
 	r := int(rcount)
+	old := c.gamma
 	switch {
 	case r > c.gamma && c.gamma < c.d.cfg.Red.GammaMax:
 		c.gamma++
@@ -114,6 +116,9 @@ func (c *red) updateGamma(rcount uint8) {
 			c.gamma--
 			c.gammaDown = 0
 		}
+	}
+	if c.gamma != old {
+		c.tr.Emit(obs.EvGammaMove, 0, int64(old), int64(c.gamma))
 	}
 }
 
@@ -140,6 +145,7 @@ func (c *red) checkRegret(addr mem.Addr) {
 	}
 	delete(c.regret, addr)
 	if c.gamma+2 <= c.d.cfg.Red.GammaMax {
+		c.tr.Emit(obs.EvGammaMove, uint64(addr), int64(c.gamma), int64(c.gamma+2))
 		c.gamma += 2
 	}
 }
@@ -175,6 +181,7 @@ func (c *red) Submit(req *mem.Request) {
 		})
 		if !admitted {
 			c.s.Alpha.Bypassed++
+			c.tr.Emit(obs.EvBypass, uint64(req.Addr), int64(c.at.Alpha()), 0)
 			c.direct(req)
 			return
 		}
@@ -332,6 +339,7 @@ func (c *red) handleWrite(req *mem.Request) {
 				// lifetime is over; route the write to main memory and
 				// free the frame without touching HBM again.
 				c.s.Gamma.Invalidations++
+				c.tr.Emit(obs.EvInvalidate, uint64(req.Addr.Align()), int64(fresh), int64(c.gamma))
 				e.lastWrite = true
 				c.retire(e, false) // data goes to DDR4 below, no victim WB
 				e.valid = false

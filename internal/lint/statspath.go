@@ -25,6 +25,13 @@ import (
 // single-writer story the aggregation paths rely on.  Deliberate
 // cross-component attribution (e.g. a DDR observer charging bus cycles
 // to an experiment-owned histogram) carries `//redvet:statshook`.
+//
+// internal/obs probe cells are the one sanctioned exception: Val
+// (Set/Add/Inc) and Tracer.Emit exist precisely to carry measurements
+// across component boundaries — the registry seals its writer set at
+// wire-up and epoch sampling is pull-based in registration order, so
+// the registration-order hazard this rule guards against cannot arise.
+// Mutating a captured probe cell inside a hook needs no annotation.
 var StatsPath = &Analyzer{
 	Name:      "statspath",
 	Doc:       "flags stats counters mutated from hooks/closures outside their owning component",
@@ -36,10 +43,18 @@ var StatsPath = &Analyzer{
 	Run: runStatsPath,
 }
 
-const statsPkgPath = "redcache/internal/stats"
+const (
+	statsPkgPath = "redcache/internal/stats"
+	obsPkgPath   = "redcache/internal/obs"
+)
 
 // statsMutators are the internal/stats methods that write state.
 var statsMutators = map[string]bool{"Add": true, "Inc": true, "Observe": true}
+
+// obsSanctioned are the internal/obs mutators that form the designed
+// cross-component telemetry channel (see the exception in the package
+// doc above): probe-cell writes and structured-trace emissions.
+var obsSanctioned = map[string]bool{"Set": true, "Add": true, "Inc": true, "Emit": true}
 
 func runStatsPath(pass *Pass) {
 	inspect(pass, func(n ast.Node, stack []ast.Node) bool {
@@ -55,8 +70,13 @@ func runStatsPath(pass *Pass) {
 				checkMutationSite(pass, sel, stack)
 			}
 		case *ast.CallExpr:
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && isStatsMutatorCall(pass, sel) {
-				checkMutationSite(pass, sel, stack)
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if isObsProbeMutatorCall(pass, sel) {
+					break // sanctioned telemetry channel, any site is fine
+				}
+				if isStatsMutatorCall(pass, sel) {
+					checkMutationSite(pass, sel, stack)
+				}
 			}
 		}
 		return true
@@ -86,6 +106,17 @@ func isStatsMutatorCall(pass *Pass, sel *ast.SelectorExpr) bool {
 	}
 	m := s.Obj()
 	return m.Pkg() != nil && m.Pkg().Path() == statsPkgPath && statsMutators[m.Name()]
+}
+
+// isObsProbeMutatorCall reports whether sel is one of the sanctioned
+// internal/obs telemetry mutators (Val.Set/Add/Inc, Tracer.Emit).
+func isObsProbeMutatorCall(pass *Pass, sel *ast.SelectorExpr) bool {
+	s := pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	m := s.Obj()
+	return m.Pkg() != nil && m.Pkg().Path() == obsPkgPath && obsSanctioned[m.Name()]
 }
 
 // checkMutationSite applies the ownership rule to one mutation of the

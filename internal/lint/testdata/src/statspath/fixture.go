@@ -1,7 +1,10 @@
 // Package fixture exercises the statspath analyzer.
 package fixture
 
-import "redcache/internal/stats"
+import (
+	"redcache/internal/obs"
+	"redcache/internal/stats"
+)
 
 // component owns an interface-traffic record and a counter.
 type component struct {
@@ -60,5 +63,24 @@ func bumpGlobal() {
 func registerAttributed(s *sched, hist *stats.ReuseHistogram) {
 	s.after(func() {
 		hist.Observe(1, 2) //redvet:statshook — experiment-owned histogram
+	})
+}
+
+// good: obs probe cells and the event tracer are the designed
+// cross-component telemetry channel — mutating them through captures
+// inside hooks is sanctioned without annotation.
+func registerProbes(s *sched, v *obs.Val, tr *obs.Tracer) {
+	s.after(func() {
+		v.Inc()
+		v.Add(2)
+		v.Set(7)
+		tr.Emit(obs.EvBypass, 0, 1, 2)
+	})
+}
+
+// bad: the same shape through a captured stats counter stays flagged.
+func registerCounter(s *sched, ctr *stats.Counter) {
+	s.after(func() {
+		ctr.Inc() // want `captured "ctr"`
 	})
 }

@@ -1,0 +1,56 @@
+//go:build !race
+
+package obs
+
+import "testing"
+
+// Allocation guards for the telemetry contract (ISSUE 3): with
+// telemetry disabled the instrumented hot paths add 0 allocs/op, and
+// one epoch sample with telemetry enabled stays ≤1 alloc/op (it is 0
+// once the ring is warm).  Race instrumentation perturbs allocation
+// accounting, so like the engine guards these compile out under -race.
+
+func TestEmitDisabledZeroAlloc(t *testing.T) {
+	var nilTr *Tracer // telemetry off: components hold a nil tracer
+	off := &Tracer{}  // telemetry on, tracing off
+	if allocs := testing.AllocsPerRun(1000, func() {
+		nilTr.Emit(EvBypass, 0xabc, 1, 2)
+		off.Emit(EvBypass, 0xabc, 1, 2)
+	}); allocs != 0 {
+		t.Fatalf("disabled Emit allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestEmitEnabledZeroAlloc(t *testing.T) {
+	cycle := int64(0)
+	tr := NewTracer(64, func() int64 { return cycle })
+	if allocs := testing.AllocsPerRun(1000, func() {
+		cycle++
+		tr.Emit(EvRCUEnqueue, 0xabc, 1, 2)
+	}); allocs != 0 {
+		t.Fatalf("enabled Emit allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestSampleAtMostOneAlloc(t *testing.T) {
+	tel, err := New(Options{EpochCycles: 100, SeriesCap: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b int64
+	tel.Reg.Gauge("x.a", func() int64 { return a })
+	tel.Reg.Counter("x.b", func() int64 { return b })
+	tel.Reg.GaugeF("x.r", RatioOf(
+		func() int64 { return a },
+		func() int64 { return b }))
+	tel.Start()
+	now := int64(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		now += 100
+		a++
+		b += 2
+		tel.Sample(now)
+	}); allocs > 1 {
+		t.Fatalf("epoch sample allocated %.1f allocs/op, want <= 1", allocs)
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import "testing"
+
+// BenchmarkTelemetrySample measures one epoch sample over a realistic
+// probe count (the RedCache wire-up registers ~50).
+func BenchmarkTelemetrySample(b *testing.B) {
+	b.ReportAllocs()
+	tel, err := New(Options{EpochCycles: 100, SeriesCap: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j",
+		"k", "l", "m", "n", "o", "p", "q", "r", "s", "t",
+		"u", "v", "w", "x", "y"}
+	var cnt int64
+	for _, n := range names {
+		tel.Reg.Counter("bench."+n+".count", func() int64 { return cnt })
+		tel.Reg.Gauge("bench."+n+".gauge", func() int64 { return cnt })
+	}
+	tel.Start()
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 100
+		cnt++
+		tel.Sample(now)
+	}
+}
+
+// BenchmarkTracerEmitDisabled measures the telemetry-off cost every
+// instrumented hot path pays: a nil check and return.
+func BenchmarkTracerEmitDisabled(b *testing.B) {
+	b.ReportAllocs()
+	var tr *Tracer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(EvBypass, uint64(i), 1, 2)
+	}
+}
+
+// BenchmarkTracerEmitEnabled measures a recorded emit into the ring.
+func BenchmarkTracerEmitEnabled(b *testing.B) {
+	b.ReportAllocs()
+	cycle := int64(0)
+	tr := NewTracer(1<<12, func() int64 { return cycle })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle++
+		tr.Emit(EvRCUEnqueue, uint64(i), 1, 2)
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+)
+
+// Exporters are hand-rolled: every byte is produced by strconv with
+// fixed formats ('g', shortest round-trip, 64-bit for floats), so two
+// identical runs export identical files — the determinism tests compare
+// telemetry at the byte level, not field by field.
+
+// appendFloat renders v as a JSON/CSV-safe number.  NaN and ±Inf have
+// no JSON encoding; probes never produce them (ratios guard zero
+// denominators), but the exporter degrades to 0 rather than emitting an
+// unparseable file.
+func appendFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(b, '0')
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendCell renders row/col of s.
+func (s *Series) appendCell(b []byte, row, col int) []byte {
+	pos := s.pos(row)
+	if s.kinds[col] == gaugeFloat {
+		return appendFloat(b, s.cols[col].floats[pos])
+	}
+	return strconv.AppendInt(b, s.cols[col].ints[pos], 10)
+}
+
+// WriteSeriesJSONL writes one JSON object per retained row: the sample
+// cycle plus every probe column, in registration order.
+func WriteSeriesJSONL(w io.Writer, s *Series) error {
+	b := make([]byte, 0, 256)
+	for row := 0; row < s.Rows(); row++ {
+		b = b[:0]
+		b = append(b, `{"cycle":`...)
+		b = strconv.AppendInt(b, s.Cycle(row), 10)
+		for col, name := range s.names {
+			b = append(b, ',', '"')
+			b = append(b, name...)
+			b = append(b, '"', ':')
+			b = s.appendCell(b, row, col)
+		}
+		b = append(b, '}', '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV writes a header row ("cycle" plus probe names in
+// registration order) followed by one line per retained row.
+func WriteSeriesCSV(w io.Writer, s *Series) error {
+	b := make([]byte, 0, 256)
+	b = append(b, "cycle"...)
+	for _, name := range s.names {
+		b = append(b, ',')
+		b = append(b, name...)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	for row := 0; row < s.Rows(); row++ {
+		b = b[:0]
+		b = strconv.AppendInt(b, s.Cycle(row), 10)
+		for col := range s.names {
+			b = append(b, ',')
+			b = s.appendCell(b, row, col)
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteEventsJSONL writes one JSON object per retained trace event,
+// oldest first: cycle, kind name, hex block address, and the two
+// kind-specific scalars.
+func WriteEventsJSONL(w io.Writer, t *Tracer) error {
+	b := make([]byte, 0, 128)
+	for i := 0; i < t.Len(); i++ {
+		ev := t.At(i)
+		b = b[:0]
+		b = append(b, `{"cycle":`...)
+		b = strconv.AppendInt(b, ev.Cycle, 10)
+		b = append(b, `,"kind":"`...)
+		b = append(b, ev.Kind.String()...)
+		b = append(b, `","addr":"0x`...)
+		b = strconv.AppendUint(b, ev.Addr, 16)
+		b = append(b, `","a":`...)
+		b = strconv.AppendInt(b, ev.A, 10)
+		b = append(b, `,"b":`...)
+		b = strconv.AppendInt(b, ev.B, 10)
+		b = append(b, '}', '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

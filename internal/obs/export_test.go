@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildTelemetry assembles a tiny two-row telemetry set with one probe
+// of each kind, exercising exact int and shortest-round-trip float
+// formatting.
+func buildTelemetry(t *testing.T) *Telemetry {
+	t.Helper()
+	tel, err := New(Options{EpochCycles: 100, TraceEvents: true, EventCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g, c int64
+	f := 0.0
+	tel.Reg.Gauge("a.g", func() int64 { return g })
+	tel.Reg.Counter("a.c", func() int64 { return c })
+	tel.Reg.GaugeF("a.f", func() float64 { return f })
+	tel.Start()
+	g, c, f = 5, 7, 0.5
+	tel.Sample(100)
+	g, c, f = -3, 9, 1.0/3
+	tel.Sample(200)
+	return tel
+}
+
+func TestWriteSeriesJSONL(t *testing.T) {
+	tel := buildTelemetry(t)
+	var buf bytes.Buffer
+	if err := WriteSeriesJSONL(&buf, tel.Series()); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"cycle":100,"a.g":5,"a.c":7,"a.f":0.5}
+{"cycle":200,"a.g":-3,"a.c":2,"a.f":0.3333333333333333}
+`
+	if buf.String() != want {
+		t.Fatalf("JSONL mismatch:\ngot  %q\nwant %q", buf.String(), want)
+	}
+	// Every line must be valid JSON.
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", line, err)
+		}
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	tel := buildTelemetry(t)
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, tel.Series()); err != nil {
+		t.Fatal(err)
+	}
+	want := `cycle,a.g,a.c,a.f
+100,5,7,0.5
+200,-3,2,0.3333333333333333
+`
+	if buf.String() != want {
+		t.Fatalf("CSV mismatch:\ngot  %q\nwant %q", buf.String(), want)
+	}
+}
+
+func TestWriteEventsJSONL(t *testing.T) {
+	tel := buildTelemetry(t)
+	cycle := int64(42)
+	tel.Tracer.SetClock(func() int64 { return cycle })
+	tel.Tracer.Emit(EvGammaMove, 0, 16, 17)
+	cycle = 43
+	tel.Tracer.Emit(EvInvalidate, 0xdeadc0, 18, 17)
+
+	var buf bytes.Buffer
+	if err := WriteEventsJSONL(&buf, tel.Tracer); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"cycle":42,"kind":"gamma_move","addr":"0x0","a":16,"b":17}
+{"cycle":43,"kind":"invalidate","addr":"0xdeadc0","a":18,"b":17}
+`
+	if buf.String() != want {
+		t.Fatalf("events mismatch:\ngot  %q\nwant %q", buf.String(), want)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", line, err)
+		}
+	}
+}
+
+func TestExportersAreDeterministic(t *testing.T) {
+	render := func() string {
+		tel := buildTelemetry(t)
+		var buf bytes.Buffer
+		if err := WriteSeriesJSONL(&buf, tel.Series()); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSeriesCSV(&buf, tel.Series()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatal("two identical telemetry sets exported different bytes")
+	}
+}
+
+func TestAppendFloatGuardsNonFinite(t *testing.T) {
+	inf := 1.0
+	for i := 0; i < 2000; i++ {
+		inf *= 10
+	}
+	nan := inf - inf
+	if got := string(appendFloat(nil, inf)); got != "0" {
+		t.Errorf("+Inf rendered %q, want 0", got)
+	}
+	if got := string(appendFloat(nil, nan)); got != "0" {
+		t.Errorf("NaN rendered %q, want 0", got)
+	}
+}

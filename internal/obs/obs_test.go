@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegistryOrderAndKinds(t *testing.T) {
+	var r Registry
+	var g, c int64
+	r.Gauge("a.gauge", func() int64 { return g })
+	r.Counter("a.count", func() int64 { return c })
+	r.GaugeF("a.ratio", func() float64 { return 0.5 })
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	want := []string{"a.gauge", "a.count", "a.ratio"}
+	if got := r.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	read := func() int64 { return 0 }
+
+	var dup Registry
+	dup.Gauge("x.y", read)
+	expectPanic("duplicate", func() { dup.Counter("x.y", read) })
+
+	var bad Registry
+	expectPanic("empty name", func() { bad.Gauge("", read) })
+	expectPanic("upper case", func() { bad.Gauge("X.y", read) })
+	expectPanic("quote", func() { bad.Gauge(`x."y`, read) })
+
+	tel, err := New(Options{EpochCycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel.Reg.Gauge("x.y", read)
+	tel.Start()
+	expectPanic("sealed", func() { tel.Reg.Gauge("x.z", read) })
+	expectPanic("double start", func() { tel.Start() })
+}
+
+func TestNewValidatesEpoch(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("expected error for zero epoch")
+	}
+	if _, err := New(Options{EpochCycles: -5}); err == nil {
+		t.Fatal("expected error for negative epoch")
+	}
+	tel, err := New(Options{EpochCycles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Tracer == nil || tel.Tracer.Enabled {
+		t.Fatal("tracer should exist and default to disabled")
+	}
+}
+
+func TestCounterStoresEpochDeltas(t *testing.T) {
+	tel, err := New(Options{EpochCycles: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	tel.Reg.Counter("c.total", func() int64 { return total })
+	tel.Reg.Gauge("c.gauge", func() int64 { return total })
+	tel.Start()
+
+	total = 7
+	tel.Sample(100)
+	total = 17
+	tel.Sample(200)
+	tel.Sample(300) // no movement
+
+	s := tel.Series()
+	wantDelta := []int64{7, 10, 0}
+	wantGauge := []int64{7, 17, 17}
+	for row := 0; row < s.Rows(); row++ {
+		if v, ok := s.Value(row, "c.total"); !ok || int64(v) != wantDelta[row] {
+			t.Errorf("row %d counter = %v, want %d", row, v, wantDelta[row])
+		}
+		if v, ok := s.Value(row, "c.gauge"); !ok || int64(v) != wantGauge[row] {
+			t.Errorf("row %d gauge = %v, want %d", row, v, wantGauge[row])
+		}
+	}
+	if _, ok := s.Value(0, "missing"); ok {
+		t.Error("Value reported a missing column as present")
+	}
+}
+
+func TestSeriesRingWrap(t *testing.T) {
+	tel, err := New(Options{EpochCycles: 10, SeriesCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	tel.Reg.Gauge("v.n", func() int64 { return n })
+	tel.Start()
+	for n = 1; n <= 10; n++ {
+		tel.Sample(n * 10)
+	}
+	s := tel.Series()
+	if s.Rows() != 4 {
+		t.Fatalf("Rows = %d, want 4", s.Rows())
+	}
+	if s.DroppedRows != 6 {
+		t.Fatalf("DroppedRows = %d, want 6", s.DroppedRows)
+	}
+	for row := 0; row < 4; row++ {
+		wantCycle := int64(70 + 10*row)
+		if c := s.Cycle(row); c != wantCycle {
+			t.Errorf("row %d cycle = %d, want %d", row, c, wantCycle)
+		}
+		if v, _ := s.Value(row, "v.n"); int64(v) != int64(7+row) {
+			t.Errorf("row %d value = %v, want %d", row, v, 7+row)
+		}
+	}
+}
+
+func TestRatioOf(t *testing.T) {
+	var num, den int64
+	ratio := RatioOf(func() int64 { return num }, func() int64 { return den })
+	if got := ratio(); got != 0 {
+		t.Fatalf("first sample with no movement = %v, want 0", got)
+	}
+	num, den = 3, 4
+	if got := ratio(); got != 0.75 {
+		t.Fatalf("interval ratio = %v, want 0.75", got)
+	}
+	num, den = 3, 4 // no movement
+	if got := ratio(); got != 0 {
+		t.Fatalf("idle interval = %v, want 0", got)
+	}
+	num, den = 4, 8
+	if got := ratio(); got != 0.25 {
+		t.Fatalf("second interval = %v, want 0.25", got)
+	}
+}
+
+func TestTracerRingAndNilSafety(t *testing.T) {
+	var nilTr *Tracer
+	nilTr.Emit(EvBypass, 1, 2, 3) // must not panic
+	if nilTr.Len() != 0 {
+		t.Fatal("nil tracer Len != 0")
+	}
+
+	cycle := int64(0)
+	tr := NewTracer(3, func() int64 { return cycle })
+	for i := int64(1); i <= 5; i++ {
+		cycle = i * 10
+		tr.Emit(EvRCUEnqueue, uint64(i), i, 0)
+	}
+	if tr.Len() != 3 || tr.DroppedEvents != 2 {
+		t.Fatalf("Len=%d Dropped=%d, want 3/2", tr.Len(), tr.DroppedEvents)
+	}
+	for i := 0; i < 3; i++ {
+		ev := tr.At(i)
+		if ev.A != int64(i+3) || ev.Cycle != int64(i+3)*10 {
+			t.Errorf("At(%d) = %+v, want A=%d cycle=%d", i, ev, i+3, (i+3)*10)
+		}
+	}
+
+	tr.Enabled = false
+	tr.Emit(EvBypass, 9, 9, 9)
+	if tr.Len() != 3 {
+		t.Fatal("disabled tracer recorded an event")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if numEventKinds.String() != "unknown" {
+		t.Error("out-of-range kind should stringify as unknown")
+	}
+}
+
+func TestVal(t *testing.T) {
+	var r Registry
+	g := r.GaugeCell("v.gauge")
+	c := r.CounterCell("v.count")
+	g.Set(5)
+	g.Add(2)
+	c.Inc()
+	c.Inc()
+	if g.Value() != 7 || c.Value() != 2 {
+		t.Fatalf("cells = %d/%d, want 7/2", g.Value(), c.Value())
+	}
+	if !reflect.DeepEqual(r.Names(), []string{"v.gauge", "v.count"}) {
+		t.Fatalf("cell registration order wrong: %v", r.Names())
+	}
+}
+
+func TestFinishWithoutStartIsNoop(t *testing.T) {
+	tel, err := New(Options{EpochCycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel.Finish(100) // before Start: must not panic
+	if tel.Rows() != 0 {
+		t.Fatal("rows recorded before Start")
+	}
+}

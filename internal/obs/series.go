@@ -1,0 +1,122 @@
+package obs
+
+// column is one probe's storage: exactly one of ints/floats is
+// non-nil, matching the probe's kind.
+type column struct {
+	ints   []int64
+	floats []float64
+}
+
+// Series is the columnar epoch time-series: one row per sample, one
+// column per probe, backed by fixed-capacity ring storage so a long run
+// retains the most recent Cap rows without ever reallocating.
+type Series struct {
+	names []string
+	kinds []probeKind
+
+	cap    int
+	head   int // ring index of the oldest retained row
+	n      int // retained rows
+	cycles []int64
+	cols   []column
+
+	// DroppedRows counts the oldest rows overwritten after the ring
+	// filled — exporters surface it so truncation is never silent.
+	DroppedRows int64
+}
+
+// newSeries builds the ring storage for the (sealed) registry.
+func newSeries(reg *Registry, capacity int) *Series {
+	s := &Series{
+		names:  reg.Names(),
+		kinds:  make([]probeKind, len(reg.probes)),
+		cap:    capacity,
+		cycles: make([]int64, capacity),
+		cols:   make([]column, len(reg.probes)),
+	}
+	for i := range reg.probes {
+		s.kinds[i] = reg.probes[i].kind
+		if reg.probes[i].kind == gaugeFloat {
+			s.cols[i].floats = make([]float64, capacity)
+		} else {
+			s.cols[i].ints = make([]int64, capacity)
+		}
+	}
+	return s
+}
+
+// slot claims the ring position for the next row, overwriting the
+// oldest row once full.
+func (s *Series) slot() int {
+	if s.n == s.cap {
+		pos := s.head
+		s.head++
+		if s.head == s.cap {
+			s.head = 0
+		}
+		s.DroppedRows++
+		return pos
+	}
+	pos := s.head + s.n
+	if pos >= s.cap {
+		pos -= s.cap
+	}
+	s.n++
+	return pos
+}
+
+// sample reads every probe into a fresh row at cycle now.  Counter
+// probes store the increment since their previous reading.  Zero
+// allocations once constructed.
+func (s *Series) sample(reg *Registry, now int64) {
+	pos := s.slot()
+	s.cycles[pos] = now
+	for i := range reg.probes {
+		p := &reg.probes[i]
+		switch p.kind {
+		case gaugeInt:
+			s.cols[i].ints[pos] = p.readI()
+		case gaugeFloat:
+			s.cols[i].floats[pos] = p.readF()
+		default: // counterInt
+			v := p.readI()
+			s.cols[i].ints[pos] = v - p.prev
+			p.prev = v
+		}
+	}
+}
+
+// Rows reports the number of retained samples.
+func (s *Series) Rows() int { return s.n }
+
+// Names returns the column names in export order.
+func (s *Series) Names() []string { return s.names }
+
+// pos maps a logical row (0 = oldest retained) to its ring index.
+func (s *Series) pos(row int) int {
+	p := s.head + row
+	if p >= s.cap {
+		p -= s.cap
+	}
+	return p
+}
+
+// Cycle reports the sample cycle of a retained row (0 = oldest).
+func (s *Series) Cycle(row int) int64 { return s.cycles[s.pos(row)] }
+
+// Value reports one cell as a float64 (int columns are converted) and
+// whether the named column exists.  This is the generic accessor report
+// writers use; exporters emit int columns exactly via the typed path.
+func (s *Series) Value(row int, name string) (float64, bool) {
+	for i, n := range s.names {
+		if n != name {
+			continue
+		}
+		pos := s.pos(row)
+		if s.kinds[i] == gaugeFloat {
+			return s.cols[i].floats[pos], true
+		}
+		return float64(s.cols[i].ints[pos]), true
+	}
+	return 0, false
+}

@@ -1,0 +1,101 @@
+package obs
+
+import "fmt"
+
+// Default ring capacities: ~32k epochs and ~64k trace events retained.
+// Both are bounded so telemetry memory is O(1) in run length; overflow
+// drops the oldest rows/events and is reported, never silent.
+const (
+	DefaultSeriesCap = 32768
+	DefaultEventCap  = 65536
+)
+
+// Options configure one run's telemetry.
+type Options struct {
+	// EpochCycles is the sampling period in CPU cycles (required > 0).
+	EpochCycles int64
+	// SeriesCap bounds retained epoch rows (DefaultSeriesCap when 0).
+	SeriesCap int
+	// TraceEvents enables the structured event trace.
+	TraceEvents bool
+	// EventCap bounds retained trace events (DefaultEventCap when 0).
+	EventCap int
+}
+
+// Telemetry owns one run's observability state: the probe registry,
+// the epoch series, and the event tracer.  Wire-up order: components
+// register probes into Reg, Start seals the registry and allocates the
+// ring, then the engine's periodic callback drives Sample every epoch
+// and Finish flushes a final end-of-run row.
+type Telemetry struct {
+	// Reg is the probe registry components populate before Start.
+	Reg Registry
+	// Tracer is the structured event trace; non-nil whenever telemetry
+	// is on, with Enabled reflecting Options.TraceEvents.
+	Tracer *Tracer
+
+	opt Options
+	ser *Series
+}
+
+// New validates o and builds an idle Telemetry.
+func New(o Options) (*Telemetry, error) {
+	if o.EpochCycles <= 0 {
+		return nil, fmt.Errorf("obs: epoch must be positive, got %d cycles", o.EpochCycles)
+	}
+	if o.SeriesCap <= 0 {
+		o.SeriesCap = DefaultSeriesCap
+	}
+	if o.EventCap <= 0 {
+		o.EventCap = DefaultEventCap
+	}
+	t := &Telemetry{opt: o, Tracer: &Tracer{Enabled: o.TraceEvents, buf: make([]Event, o.EventCap)}}
+	return t, nil
+}
+
+// EpochCycles reports the sampling period.
+func (t *Telemetry) EpochCycles() int64 { return t.opt.EpochCycles }
+
+// Start seals the registry and allocates the series ring.
+func (t *Telemetry) Start() {
+	if t.ser != nil {
+		panic("obs: Start called twice")
+	}
+	t.Reg.sealed = true
+	t.ser = newSeries(&t.Reg, t.opt.SeriesCap)
+}
+
+// Sample snapshots every probe into one epoch row at cycle now.  It is
+// the engine's periodic callback; after Start it performs zero
+// allocations.
+func (t *Telemetry) Sample(now int64) {
+	if t.ser == nil {
+		panic("obs: Sample before Start")
+	}
+	t.ser.sample(&t.Reg, now)
+}
+
+// Finish appends the end-of-run flush row at cycle now, capturing final
+// state (post-drain traffic, final α/γ) even when the run ended mid
+// epoch.  When the run ends exactly on a sampling tick the flush would
+// duplicate the row just written, so it is skipped.
+func (t *Telemetry) Finish(now int64) {
+	if t.ser == nil {
+		return
+	}
+	if n := t.ser.Rows(); n > 0 && t.ser.Cycle(n-1) == now {
+		return
+	}
+	t.ser.sample(&t.Reg, now)
+}
+
+// Series exposes the sampled time-series (nil before Start).
+func (t *Telemetry) Series() *Series { return t.ser }
+
+// Rows reports retained epoch rows.
+func (t *Telemetry) Rows() int {
+	if t.ser == nil {
+		return 0
+	}
+	return t.ser.Rows()
+}

@@ -13,6 +13,7 @@ import (
 	"redcache/internal/engine"
 	"redcache/internal/hbm"
 	"redcache/internal/mem"
+	"redcache/internal/obs"
 	"redcache/internal/stats"
 	"redcache/internal/trace"
 )
@@ -35,6 +36,10 @@ type Result struct {
 	// EventsFired counts engine events executed over the whole run — the
 	// denominator for events/sec throughput reporting in cmd/redbench.
 	EventsFired uint64
+
+	// Telemetry holds the epoch time-series and event trace when
+	// Options.Telemetry was set; nil otherwise.
+	Telemetry *obs.Telemetry
 }
 
 // Seconds converts cycles to wall time at the configured frequency.
@@ -72,6 +77,12 @@ type Options struct {
 	DDRObserver dram.Observer
 	// MaxCycles aborts runaway simulations; 0 means no limit.
 	MaxCycles int64
+	// Telemetry, when set, enables cycle-domain telemetry: every
+	// component registers probes at wire-up and the engine samples them
+	// every Telemetry.EpochCycles cycles.  Sampling is read-only, so a
+	// telemetry-enabled run produces the same simulation counters as a
+	// plain one.
+	Telemetry *obs.Options
 }
 
 // Run simulates the trace on the given architecture and returns the
@@ -107,6 +118,32 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (*Res
 	}
 
 	cx := cpu.NewComplex(eng, cfg, t, submitFunc(func(req *mem.Request) { ctl.Submit(req) }))
+
+	var tel *obs.Telemetry
+	if opts.Telemetry != nil {
+		tel, err = obs.New(*opts.Telemetry)
+		if err != nil {
+			return nil, err
+		}
+		// Registration order fixes the exported column order, so it is
+		// part of the telemetry file format: engine, interfaces +
+		// channels, cache controller, CPU, L3.
+		tel.Tracer.SetClock(eng.Now)
+		tel.Reg.Counter("engine.events_fired", func() int64 { return int64(eng.Fired) })
+		tel.Reg.Gauge("engine.pending", func() int64 { return int64(eng.Pending()) })
+		if hbmCtl != nil {
+			obs.RegisterInterface(&tel.Reg, "hbm", &res.HBMIface, eng.Now)
+			hbmCtl.RegisterProbes(&tel.Reg, "hbm")
+		}
+		obs.RegisterInterface(&tel.Reg, "ddr", &res.DDRIface, eng.Now)
+		ddrCtl.RegisterProbes(&tel.Reg, "ddr")
+		ctl.RegisterTelemetry(tel)
+		cx.RegisterProbes(&tel.Reg)
+		obs.RegisterCache(&tel.Reg, "l3", cx.Hier.L3Stats())
+		tel.Start()
+		eng.SchedulePeriodic(tel.EpochCycles(), tel.Sample)
+	}
+
 	cx.Start()
 
 	if opts.MaxCycles > 0 {
@@ -121,6 +158,11 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (*Res
 
 	ctl.Drain()
 	eng.Run() // let the drain traffic settle
+
+	if tel != nil {
+		tel.Finish(eng.Now())
+		res.Telemetry = tel
+	}
 
 	res.Cycles = cx.AllDoneAt
 	res.Instructions = cx.Instructions()

@@ -55,6 +55,28 @@ func (i *Interface) BandwidthUtil(elapsed int64) float64 {
 	return float64(i.BusyCycles) / float64(elapsed)
 }
 
+// Snapshot returns a copy of the current counters, usable later as the
+// baseline for Delta.
+func (i *Interface) Snapshot() Interface { return *i }
+
+// Delta returns the traffic accumulated since prev was snapshotted, as
+// an Interface carrying the same name.  The interval value supports the
+// same derived metrics as the cumulative one, so epoch samplers get
+// per-epoch BandwidthUtil/RowHitRate without re-deriving them ad hoc.
+func (i *Interface) Delta(prev Interface) Interface {
+	return Interface{
+		Name:       i.Name,
+		ReadBytes:  i.ReadBytes - prev.ReadBytes,
+		WriteBytes: i.WriteBytes - prev.WriteBytes,
+		BusyCycles: i.BusyCycles - prev.BusyCycles,
+		Requests:   i.Requests - prev.Requests,
+		RowHits:    i.RowHits - prev.RowHits,
+		RowMisses:  i.RowMisses - prev.RowMisses,
+		Activates:  i.Activates - prev.Activates,
+		Refreshes:  i.Refreshes - prev.Refreshes,
+	}
+}
+
 // CacheStats counts hits and misses for one cache structure.
 type CacheStats struct {
 	Hits, Misses int64
@@ -71,6 +93,21 @@ func (c *CacheStats) HitRate() float64 {
 		return float64(c.Hits) / float64(t)
 	}
 	return 0
+}
+
+// Snapshot returns a copy of the current counters, usable later as the
+// baseline for Delta.
+func (c *CacheStats) Snapshot() CacheStats { return *c }
+
+// Delta returns the activity accumulated since prev was snapshotted;
+// HitRate on the result is the interval hit rate.
+func (c *CacheStats) Delta(prev CacheStats) CacheStats {
+	return CacheStats{
+		Hits:        c.Hits - prev.Hits,
+		Misses:      c.Misses - prev.Misses,
+		Evictions:   c.Evictions - prev.Evictions,
+		DirtyEvicts: c.DirtyEvicts - prev.DirtyEvicts,
+	}
 }
 
 // ReuseHistogram groups blocks by their total number of reuses
@@ -103,6 +140,41 @@ func (h *ReuseHistogram) TotalAccesses() int64 {
 		n += c
 	}
 	return n
+}
+
+// TotalCost reports the aggregate bus-cycle cost across all blocks.
+func (h *ReuseHistogram) TotalCost() int64 {
+	var n int64
+	for _, c := range h.cost {
+		n += c
+	}
+	return n
+}
+
+// ReuseSnapshot is a cheap aggregate view of a ReuseHistogram at one
+// instant — the per-block maps are too heavy to copy every epoch, so
+// interval deltas work on these totals instead.
+type ReuseSnapshot struct {
+	Blocks   int
+	Accesses int64
+	Cost     int64
+}
+
+// Snapshot returns the current aggregate totals, usable later as the
+// baseline for Delta.
+func (h *ReuseHistogram) Snapshot() ReuseSnapshot {
+	return ReuseSnapshot{Blocks: h.Blocks(), Accesses: h.TotalAccesses(), Cost: h.TotalCost()}
+}
+
+// Delta returns the growth since prev was snapshotted: newly observed
+// blocks, interval accesses, and interval bus-cycle cost.
+func (h *ReuseHistogram) Delta(prev ReuseSnapshot) ReuseSnapshot {
+	cur := h.Snapshot()
+	return ReuseSnapshot{
+		Blocks:   cur.Blocks - prev.Blocks,
+		Accesses: cur.Accesses - prev.Accesses,
+		Cost:     cur.Cost - prev.Cost,
+	}
 }
 
 // Group is one homo-reuse group: all blocks with the same reuse count.
