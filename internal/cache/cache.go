@@ -27,10 +27,15 @@ type Cache struct {
 	Stats   stats.CacheStats
 }
 
-// Eviction describes a victim block pushed out by a fill.
+// Eviction describes a victim block pushed out by a fill.  It is
+// passed by value with a Valid flag (rather than a nil-able pointer) so
+// the per-eviction heap allocation disappears from the access path —
+// evictions are steady-state events, not warm-up.
 type Eviction struct {
 	Block mem.BlockID
 	Dirty bool
+	// Valid is false when the fill found a free way (no victim).
+	Valid bool
 }
 
 // New builds a cache from a config level description.
@@ -51,10 +56,13 @@ func New(lv config.CacheLevel) *Cache {
 	return c
 }
 
+//redvet:hotpath
 func (c *Cache) set(b mem.BlockID) []line { return c.sets[uint64(b)&c.setMask] }
 
 // Lookup probes for the block without changing replacement or hit/miss
 // statistics.  It reports presence and dirtiness.
+//
+//redvet:hotpath
 func (c *Cache) Lookup(b mem.BlockID) (present, dirty bool) {
 	tag := uint64(b)
 	for i := range c.set(b) {
@@ -70,7 +78,9 @@ func (c *Cache) Lookup(b mem.BlockID) (present, dirty bool) {
 // dirty bit for writes) and returns hit=true.  On a miss it allocates the
 // block, possibly returning the evicted victim; the caller is responsible
 // for propagating dirty victims down the hierarchy.
-func (c *Cache) Access(b mem.BlockID, write bool) (hit bool, ev *Eviction) {
+//
+//redvet:hotpath
+func (c *Cache) Access(b mem.BlockID, write bool) (hit bool, ev Eviction) {
 	c.tick++
 	tag := uint64(b)
 	set := c.set(b)
@@ -82,7 +92,7 @@ func (c *Cache) Access(b mem.BlockID, write bool) (hit bool, ev *Eviction) {
 				l.dirty = true
 			}
 			c.Stats.Hits++
-			return true, nil
+			return true, Eviction{}
 		}
 	}
 	c.Stats.Misses++
@@ -92,7 +102,9 @@ func (c *Cache) Access(b mem.BlockID, write bool) (hit bool, ev *Eviction) {
 
 // Fill installs the block (clean unless dirty is set) without counting a
 // demand access; used when a lower level supplies data upward.
-func (c *Cache) Fill(b mem.BlockID, dirty bool) *Eviction {
+//
+//redvet:hotpath
+func (c *Cache) Fill(b mem.BlockID, dirty bool) Eviction {
 	c.tick++
 	tag := uint64(b)
 	set := c.set(b)
@@ -101,13 +113,14 @@ func (c *Cache) Fill(b mem.BlockID, dirty bool) *Eviction {
 		if l.valid && l.tag == tag {
 			l.used = c.tick
 			l.dirty = l.dirty || dirty
-			return nil
+			return Eviction{}
 		}
 	}
 	return c.fill(b, dirty)
 }
 
-func (c *Cache) fill(b mem.BlockID, dirty bool) *Eviction {
+//redvet:hotpath
+func (c *Cache) fill(b mem.BlockID, dirty bool) Eviction {
 	set := c.set(b)
 	victim := 0
 	for i := range set {
@@ -120,14 +133,14 @@ func (c *Cache) fill(b mem.BlockID, dirty bool) *Eviction {
 		}
 	}
 install:
-	var ev *Eviction
+	var ev Eviction
 	l := &set[victim]
 	if l.valid {
 		c.Stats.Evictions++
 		if l.dirty {
 			c.Stats.DirtyEvicts++
 		}
-		ev = &Eviction{Block: mem.BlockID(l.tag), Dirty: l.dirty}
+		ev = Eviction{Block: mem.BlockID(l.tag), Dirty: l.dirty, Valid: true}
 	}
 	l.tag = uint64(b)
 	l.valid = true
@@ -228,24 +241,26 @@ func (h *Hierarchy) L3Stats() *stats.CacheStats { return &h.l3.Stats }
 // returns the satisfying level and the on-die latency.  When the result
 // is Memory the caller must fetch the block; the line has already been
 // allocated at every level (immediate-fill simplification, DESIGN.md §5).
+//
+//redvet:hotpath
 func (h *Hierarchy) Access(core int, addr mem.Addr, write bool) (Level, int64) {
 	b := addr.Block()
 	hit, ev := h.l1[core].Access(b, write)
-	if ev != nil && ev.Dirty {
+	if ev.Valid && ev.Dirty {
 		h.toL2(core, ev.Block)
 	}
 	if hit {
 		return L1, h.lat1
 	}
 	hit, ev = h.l2[core].Access(b, false)
-	if ev != nil && ev.Dirty {
+	if ev.Valid && ev.Dirty {
 		h.toL3(ev.Block)
 	}
 	if hit {
 		return L2, h.lat1 + h.lat2
 	}
 	hit, ev = h.l3.Access(b, false)
-	if ev != nil && ev.Dirty {
+	if ev.Valid && ev.Dirty {
 		h.writeback(ev.Block)
 	}
 	if hit {
@@ -255,19 +270,24 @@ func (h *Hierarchy) Access(core int, addr mem.Addr, write bool) (Level, int64) {
 }
 
 // toL2 installs a dirty L1 victim into the core's L2.
+//
+//redvet:hotpath
 func (h *Hierarchy) toL2(core int, b mem.BlockID) {
-	if ev := h.l2[core].Fill(b, true); ev != nil && ev.Dirty {
+	if ev := h.l2[core].Fill(b, true); ev.Valid && ev.Dirty {
 		h.toL3(ev.Block)
 	}
 }
 
 // toL3 installs a dirty L2 victim into the shared L3.
+//
+//redvet:hotpath
 func (h *Hierarchy) toL3(b mem.BlockID) {
-	if ev := h.l3.Fill(b, true); ev != nil && ev.Dirty {
+	if ev := h.l3.Fill(b, true); ev.Valid && ev.Dirty {
 		h.writeback(ev.Block)
 	}
 }
 
+//redvet:hotpath
 func (h *Hierarchy) writeback(b mem.BlockID) {
 	if h.Writeback != nil {
 		h.Writeback(b)

@@ -31,7 +31,7 @@ func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
 	c.Access(mem.BlockID(sets), false)
 	c.Access(mem.BlockID(0), false) // touch 0: now block `sets` is LRU
 	_, ev := c.Access(mem.BlockID(2*sets), false)
-	if ev == nil || ev.Block != mem.BlockID(sets) {
+	if !ev.Valid || ev.Block != mem.BlockID(sets) {
 		t.Fatalf("evicted %+v, want block %d", ev, sets)
 	}
 	if hit, _ := c.Access(mem.BlockID(0), false); !hit {
@@ -43,11 +43,11 @@ func TestDirtyEvictionReported(t *testing.T) {
 	c := New(lvl(64, 1)) // 1 set, 1 way
 	c.Access(0, true)    // dirty
 	_, ev := c.Access(1, false)
-	if ev == nil || !ev.Dirty || ev.Block != 0 {
+	if !ev.Valid || !ev.Dirty || ev.Block != 0 {
 		t.Fatalf("eviction = %+v, want dirty block 0", ev)
 	}
 	_, ev = c.Access(2, false)
-	if ev == nil || ev.Dirty {
+	if !ev.Valid || ev.Dirty {
 		t.Fatalf("eviction = %+v, want clean block 1", ev)
 	}
 }

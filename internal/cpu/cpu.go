@@ -45,13 +45,22 @@ type slotRing struct {
 
 func newSlotRing(capacity int) slotRing { return slotRing{buf: make([]*slot, capacity)} }
 
-func (r *slotRing) len() int     { return r.n }
-func (r *slotRing) full() bool   { return r.n == len(r.buf) }
+//redvet:hotpath
+func (r *slotRing) len() int { return r.n }
+
+//redvet:hotpath
+func (r *slotRing) full() bool { return r.n == len(r.buf) }
+
+//redvet:hotpath
 func (r *slotRing) front() *slot { return r.buf[r.head] }
+
+//redvet:hotpath
 func (r *slotRing) push(s *slot) {
 	r.buf[(r.head+r.n)%len(r.buf)] = s
 	r.n++
 }
+
+//redvet:hotpath
 func (r *slotRing) pop() *slot {
 	s := r.buf[r.head]
 	r.buf[r.head] = nil
@@ -103,6 +112,7 @@ func NewCore(id int, eng *engine.Engine, hier *cache.Hierarchy, ms Submitter,
 		stCap:      cfg.StoreBufferSize,
 		window:     newSlotRing(cfg.MaxOutstanding),
 		stores:     newSlotRing(cfg.StoreBufferSize),
+		freeSlots:  make([]*slot, 0, cfg.MaxOutstanding+cfg.StoreBufferSize),
 		FinishedAt: -1,
 		onFinish:   onFinish,
 		lastStall:  -1,
@@ -126,6 +136,7 @@ func (c *Core) Start() {
 	c.schedule(c.eng.Now() + c.gapCycles(0))
 }
 
+//redvet:hotpath
 func (c *Core) gapCycles(i int) int64 {
 	g := int64(c.stream[i].Gap)
 	if g == 0 {
@@ -134,6 +145,7 @@ func (c *Core) gapCycles(i int) int64 {
 	return (g + c.width - 1) / c.width
 }
 
+//redvet:hotpath
 func (c *Core) schedule(at int64) {
 	if c.scheduled {
 		return
@@ -145,17 +157,44 @@ func (c *Core) schedule(at int64) {
 	c.eng.Schedule(at, c.tickFn)
 }
 
+//redvet:hotpath
 func (c *Core) drain(now int64) {
 	for c.window.len() > 0 && c.window.front().ready && c.window.front().done <= now {
-		c.freeSlots = append(c.freeSlots, c.window.pop())
+		c.putSlot(c.window.pop())
 	}
 	for c.stores.len() > 0 && c.stores.front().ready && c.stores.front().done <= now {
-		c.freeSlots = append(c.freeSlots, c.stores.pop())
+		c.putSlot(c.stores.pop())
 	}
+}
+
+// putSlot recycles a drained slot.  The free list is preallocated to
+// the architectural bound (window + store buffer), so the reslice push
+// never grows in practice; growFree keeps the invariant safe anyway.
+//
+//redvet:hotpath
+func (c *Core) putSlot(s *slot) {
+	if len(c.freeSlots) == cap(c.freeSlots) {
+		c.growFree()
+	}
+	n := len(c.freeSlots)
+	c.freeSlots = c.freeSlots[:n+1]
+	c.freeSlots[n] = s
+}
+
+// growFree grows the slot free list (unreachable once NewCore has
+// preallocated the architectural bound; kept for safety).
+//
+//redvet:coldstart — free-list growth beyond the preallocated architectural bound
+func (c *Core) growFree() {
+	grown := make([]*slot, len(c.freeSlots), max(16, 2*cap(c.freeSlots)))
+	copy(grown, c.freeSlots)
+	c.freeSlots = grown
 }
 
 // getSlot reuses a drained slot or allocates a fresh one with its
 // completion callback bound.
+//
+//redvet:hotpath
 func (c *Core) getSlot() *slot {
 	if n := len(c.freeSlots); n > 0 {
 		s := c.freeSlots[n-1]
@@ -163,6 +202,15 @@ func (c *Core) getSlot() *slot {
 		s.done, s.ready = 0, false
 		return s
 	}
+	return c.newSlot()
+}
+
+// newSlot services a free-list miss: each slot is created once, with
+// its completion callback bound for the slot's whole lifetime, and the
+// live count is bounded by window + store buffer.
+//
+//redvet:coldstart — slot pool fill up to the architectural bound; binds the once-per-slot completion closure
+func (c *Core) newSlot() *slot {
 	s := new(slot)
 	s.doneFn = func(finish int64) {
 		s.done, s.ready = finish, true
@@ -172,6 +220,8 @@ func (c *Core) getSlot() *slot {
 }
 
 // kick resumes a core stalled on a memory completion.
+//
+//redvet:hotpath
 func (c *Core) kick() {
 	if c.stalled {
 		c.stalled = false
@@ -179,6 +229,7 @@ func (c *Core) kick() {
 	}
 }
 
+//redvet:hotpath
 func (c *Core) step() {
 	now := c.eng.Now()
 	c.drain(now)
@@ -234,6 +285,7 @@ func (c *Core) step() {
 	}
 }
 
+//redvet:hotpath
 func (c *Core) stallOn(s *slot, now int64) {
 	if c.lastStall < 0 {
 		c.lastStall = now
@@ -249,6 +301,7 @@ func (c *Core) stallOn(s *slot, now int64) {
 	c.stalled = true
 }
 
+//redvet:hotpath
 func (c *Core) maybeFinish(now int64) {
 	if c.window.len() == 0 && c.stores.len() == 0 {
 		if c.FinishedAt < 0 {

@@ -96,25 +96,37 @@ type txnQueue struct {
 	n    int
 }
 
+//redvet:hotpath
 func (q *txnQueue) len() int { return q.n }
 
+//redvet:hotpath
 func (q *txnQueue) at(i int) *Txn { return q.buf[(q.head+i)&(len(q.buf)-1)] }
 
+//redvet:hotpath
 func (q *txnQueue) push(t *Txn) {
 	if q.n == len(q.buf) {
-		grown := make([]*Txn, max(16, 2*len(q.buf)))
-		for i := 0; i < q.n; i++ {
-			grown[i] = q.at(i)
-		}
-		q.buf = grown
-		q.head = 0
+		q.grow()
 	}
 	q.buf[(q.head+q.n)&(len(q.buf)-1)] = t
 	q.n++
 }
 
+// grow doubles the ring (16 minimum), linearizing the live entries.
+//
+//redvet:coldstart — amortized ring growth up to the queue's high-water mark
+func (q *txnQueue) grow() {
+	grown := make([]*Txn, max(16, 2*len(q.buf)))
+	for i := 0; i < q.n; i++ {
+		grown[i] = q.at(i)
+	}
+	q.buf = grown
+	q.head = 0
+}
+
 // removeAt deletes the i-th oldest transaction, shifting the smaller
 // side of the ring toward the gap.
+//
+//redvet:hotpath
 func (q *txnQueue) removeAt(i int) {
 	mask := len(q.buf) - 1
 	if i < q.n-1-i {
@@ -254,6 +266,8 @@ func NewController(eng *engine.Engine, cfg config.DRAM, iface *stats.Interface) 
 
 // getTxn takes a transaction slot from the free list (or allocates one
 // on a cold start).
+//
+//redvet:hotpath
 func (c *Controller) getTxn() *Txn {
 	if n := len(c.txnPool); n > 0 {
 		t := c.txnPool[n-1]
@@ -261,12 +275,36 @@ func (c *Controller) getTxn() *Txn {
 		*t = Txn{}
 		return t
 	}
-	return new(Txn)
+	return newTxn()
 }
 
-// putTxn returns an issued transaction's slot to the free list.
+// newTxn services a pool miss; after warm-up every issue() returns its
+// slot, so the pool high-water mark equals the in-flight maximum.
+//
+//redvet:coldstart — pool refill before the in-flight high-water mark
+func newTxn() *Txn { return new(Txn) }
+
+// putTxn returns an issued transaction's slot to the free list.  The
+// push is a reslice (allocation-free) once the pool's backing array has
+// reached the in-flight high-water mark.
+//
+//redvet:hotpath
 func (c *Controller) putTxn(t *Txn) {
-	c.txnPool = append(c.txnPool, t)
+	if len(c.txnPool) == cap(c.txnPool) {
+		c.growPool()
+	}
+	n := len(c.txnPool)
+	c.txnPool = c.txnPool[:n+1]
+	c.txnPool[n] = t
+}
+
+// growPool grows the free list's backing array.
+//
+//redvet:coldstart — amortized free-list growth up to the in-flight high-water mark
+func (c *Controller) growPool() {
+	grown := make([]*Txn, len(c.txnPool), max(16, 2*cap(c.txnPool)))
+	copy(grown, c.txnPool)
+	c.txnPool = grown
 }
 
 // SetWriteHook installs the RCU piggyback hook.
@@ -291,6 +329,8 @@ func (c *Controller) Interface() *stats.Interface { return c.iface }
 // Map decodes a physical address into channel/rank/bank/row/column using
 // block-interleaved mapping: consecutive 64 B blocks stripe across
 // channels, then across columns of a row, then across banks.
+//
+//redvet:hotpath
 func (c *Controller) Map(addr mem.Addr) Location {
 	blk := uint64(addr) >> mem.BlockShift
 	ch := blk & c.chanMask
@@ -309,6 +349,8 @@ func (c *Controller) Map(addr mem.Addr) Location {
 }
 
 // Read enqueues a read of `bytes` at addr; onDone fires at data return.
+//
+//redvet:hotpath
 func (c *Controller) Read(addr mem.Addr, bytes int, onDone func(int64)) {
 	t := c.getTxn()
 	t.Addr, t.Op, t.Bytes, t.onDone = addr, OpRead, bytes, onDone
@@ -317,6 +359,8 @@ func (c *Controller) Read(addr mem.Addr, bytes int, onDone func(int64)) {
 
 // Write enqueues a write of `bytes` at addr; onDone (optional) fires when
 // the write data has been transferred.
+//
+//redvet:hotpath
 func (c *Controller) Write(addr mem.Addr, bytes int, onDone func(int64)) {
 	t := c.getTxn()
 	t.Addr, t.Op, t.Bytes, t.onDone = addr, OpWrite, bytes, onDone
@@ -326,6 +370,8 @@ func (c *Controller) Write(addr mem.Addr, bytes int, onDone func(int64)) {
 // WritePriority enqueues a write that is scheduled in arrival order with
 // the reads rather than waiting for a write-drain burst, forcing the bus
 // to turn around for it.
+//
+//redvet:hotpath
 func (c *Controller) WritePriority(addr mem.Addr, bytes int, onDone func(int64)) {
 	t := c.getTxn()
 	t.Addr, t.Op, t.Bytes, t.Prio, t.onDone = addr, OpWrite, bytes, true, onDone
@@ -346,6 +392,8 @@ const (
 )
 
 // QueueLen reports the number of queued transactions on addr's channel.
+//
+//redvet:hotpath
 func (c *Controller) QueueLen(addr mem.Addr) int {
 	ch := &c.chans[c.Map(addr).Channel]
 	return ch.rdq.len() + ch.wrq.len()
@@ -361,11 +409,14 @@ func (c *Controller) TotalQueued() int {
 }
 
 // Refreshing reports whether addr's channel is currently under refresh.
+//
+//redvet:hotpath
 func (c *Controller) Refreshing(addr mem.Addr) bool {
 	ch := &c.chans[c.Map(addr).Channel]
 	return c.eng.Now() < ch.refreshEnd
 }
 
+//redvet:hotpath
 func (c *Controller) enqueue(t *Txn) {
 	// Sub-block sizes model masked/burst-chopped writes (e.g. 8 B r-count
 	// updates into the spare ECC bits); anything larger moves whole 64 B
@@ -388,6 +439,7 @@ func (c *Controller) enqueue(t *Txn) {
 	c.kick(t.Loc.Channel)
 }
 
+//redvet:hotpath
 func (c *Controller) kick(chIdx int) {
 	c.wake(chIdx, c.eng.Now())
 }
@@ -396,6 +448,8 @@ func (c *Controller) kick(chIdx int) {
 // At most one decision event is live: an earlier wake supersedes a later
 // pending one (the stale event is dropped when it fires), and a wake at
 // or after the pending time is a no-op.
+//
+//redvet:hotpath
 func (c *Controller) wake(chIdx int, at int64) {
 	ch := &c.chans[chIdx]
 	if now := c.eng.Now(); at < now {
@@ -415,23 +469,25 @@ func (c *Controller) wake(chIdx int, at int64) {
 // schedule computed by issue(), it carries no pipeline latency terms, so
 // a transaction whose resources are free reports "ready now" — this is
 // the quantity the commit-horizon test and FR-FCFS scoring need.
+//
+//redvet:hotpath
 func (c *Controller) readyAt(ch *channel, t *Txn) int64 {
 	tm := c.cfg.Timing
 	rk := &ch.ranks[t.Loc.Rank]
 	b := &rk.banks[t.Loc.Bank]
 	if b.openRow == t.Loc.Row {
-		r := max64(b.actAt+tm.TRCD, ch.lastColAt+tm.TCCD)
+		r := max(b.actAt+tm.TRCD, ch.lastColAt+tm.TCCD)
 		if t.Op == OpRead && ch.lastOp == OpWrite {
-			r = max64(r, ch.lastDataEnd+tm.TWTR)
+			r = max(r, ch.lastDataEnd+tm.TWTR)
 		}
 		return r
 	}
 	if b.openRow >= 0 {
 		// The precharge is the first command.
-		return max64(b.actAt+tm.TRAS, b.lastRdAt+tm.TRTP, b.lastWrEnd+tm.TWR)
+		return max(b.actAt+tm.TRAS, b.lastRdAt+tm.TRTP, b.lastWrEnd+tm.TWR)
 	}
 	// The activate is the first command.
-	return max64(b.rcReady, b.readyAt, rk.lastAct+tm.TRRD,
+	return max(b.rcReady, b.readyAt, rk.lastAct+tm.TRRD,
 		rk.actHist[rk.actIdx]+tm.TFAW)
 }
 
@@ -442,6 +498,8 @@ const pickScan = 16
 // pickFrom implements FR-FCFS within one queue: the oldest row-hit
 // transaction if any exists; otherwise, among the oldest pickScan
 // entries, the one whose bank lets it issue earliest.
+//
+//redvet:hotpath
 func (c *Controller) pickFrom(ch *channel, q *txnQueue) int {
 	for i := 0; i < q.len(); i++ {
 		t := q.at(i)
@@ -465,6 +523,8 @@ func (c *Controller) pickFrom(ch *channel, q *txnQueue) int {
 
 // selectQueue applies the write-drain policy and returns the queue to
 // serve plus whether it is the write queue.
+//
+//redvet:hotpath
 func (c *Controller) selectQueue(ch *channel) (q *txnQueue, isWrite bool) {
 	serveWrites := false
 	switch {
@@ -492,6 +552,7 @@ func (c *Controller) selectQueue(ch *channel) (q *txnQueue, isWrite bool) {
 // keeps the queue visible to FR-FCFS so later row hits can overtake.
 const commitHorizon = 8
 
+//redvet:hotpath
 func (c *Controller) trySchedule(chIdx int) {
 	ch := &c.chans[chIdx]
 	now := c.eng.Now()
@@ -540,6 +601,8 @@ func (c *Controller) trySchedule(chIdx int) {
 // issue computes the full command schedule for t against current bank and
 // bus state, updates state and statistics, and fires the completion
 // callback.  It returns the cycle the data burst starts.
+//
+//redvet:hotpath
 func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
 	tm := c.cfg.Timing
 	rk := &ch.ranks[t.Loc.Rank]
@@ -548,17 +611,17 @@ func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
 	var colReady int64 // earliest column command permitted by bank state
 	rowHit := b.openRow == t.Loc.Row
 	if rowHit {
-		colReady = max64(now, b.actAt+tm.TRCD)
+		colReady = max(now, b.actAt+tm.TRCD)
 		c.iface.RowHits++
 	} else {
 		c.iface.RowMisses++
 		// Precharge (if a row is open), respecting tRAS/tRTP/tWR.
 		preAt := now
 		if b.openRow >= 0 {
-			preAt = max64(preAt, b.actAt+tm.TRAS, b.lastRdAt+tm.TRTP, b.lastWrEnd+tm.TWR)
+			preAt = max(preAt, b.actAt+tm.TRAS, b.lastRdAt+tm.TRTP, b.lastWrEnd+tm.TWR)
 		}
 		// Activate, respecting tRP, tRC, tRRD, tFAW and refresh recovery.
-		actAt := max64(preAt+boolTo64(b.openRow >= 0)*tm.TRP,
+		actAt := max(preAt+boolTo64(b.openRow >= 0)*tm.TRP,
 			b.rcReady, b.readyAt, rk.lastAct+tm.TRRD,
 			rk.actHist[rk.actIdx]+tm.TFAW)
 		b.actAt = actAt
@@ -572,9 +635,9 @@ func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
 	}
 
 	// Column command constraints shared across the channel.
-	cmdAt := max64(colReady, ch.lastColAt+tm.TCCD)
+	cmdAt := max(colReady, ch.lastColAt+tm.TCCD)
 	if t.Op == OpRead && ch.lastOp == OpWrite {
-		cmdAt = max64(cmdAt, ch.lastDataEnd+tm.TWTR)
+		cmdAt = max(cmdAt, ch.lastDataEnd+tm.TWTR)
 	}
 
 	var lat int64
@@ -589,7 +652,7 @@ func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
 	dataStart := cmdAt + lat
 	minStart := ch.busFreeAt
 	if ch.lastDataEnd > 0 && t.Op != ch.lastOp {
-		minStart = max64(minStart, ch.lastDataEnd+2)
+		minStart = max(minStart, ch.lastDataEnd+2)
 	}
 	if dataStart < minStart {
 		dataStart = minStart
@@ -637,19 +700,20 @@ func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
 	return dataStart
 }
 
+//redvet:hotpath
 func (c *Controller) doRefresh(chIdx int, ch *channel) {
 	tm := c.cfg.Timing
 	now := c.eng.Now()
 	end := now + tm.TRFC
 	ch.refreshEnd = end
 	ch.nextRefresh = now + tm.TREFI
-	ch.busFreeAt = max64(ch.busFreeAt, end)
+	ch.busFreeAt = max(ch.busFreeAt, end)
 	for r := range ch.ranks {
 		rk := &ch.ranks[r]
 		for bi := range rk.banks {
 			b := &rk.banks[bi]
 			b.openRow = -1
-			b.readyAt = max64(b.readyAt, end)
+			b.readyAt = max(b.readyAt, end)
 		}
 	}
 	c.iface.Refreshes++
@@ -659,6 +723,8 @@ func (c *Controller) doRefresh(chIdx int, ch *channel) {
 // busCycles converts a transfer size into data-bus cycles: tBL covers a
 // 64 B block; smaller masked writes take a proportional (rounded-up)
 // slice of the burst.
+//
+//redvet:hotpath
 func busCycles(bytes int, tbl int64) int64 {
 	c := (int64(bytes)*tbl + mem.BlockSize - 1) / mem.BlockSize
 	if c < 1 {
@@ -667,16 +733,7 @@ func busCycles(bytes int, tbl int64) int64 {
 	return c
 }
 
-func max64(xs ...int64) int64 {
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x > m {
-			m = x
-		}
-	}
-	return m
-}
-
+//redvet:hotpath
 func boolTo64(b bool) int64 {
 	if b {
 		return 1

@@ -28,6 +28,10 @@ func (e *Engine) SchedulePeriodic(period int64, fn func(now int64)) *Periodic {
 	return p
 }
 
+// run is the per-epoch tick: steady-state rescheduling reuses the
+// once-bound p.tick func value.
+//
+//redvet:hotpath
 func (p *Periodic) run(now int64) {
 	if p.stopped {
 		return

@@ -380,7 +380,7 @@ func (s *Suite) Fig3(labels []string) ([]Fig3Result, error) {
 				// harness charges exact DDR bus cycles to its own
 				// histogram.  Deterministic because the engine fires
 				// events single-threaded in (cycle, seq) order.
-				hist.Observe(uint64(txn.Addr.Block()), cycles) //redvet:statshook
+				hist.Observe(uint64(txn.Addr.Block()), cycles) //redvet:statshook — Fig 3 harness owns this histogram; the DDR observer is the only writer and events fire single-threaded
 			},
 		}
 		cfg := *s.Sys

@@ -98,6 +98,7 @@ func (c *alloy) handleWrite(req *mem.Request) {
 	}
 }
 
+//redvet:hotpath
 func satInc(x uint8) uint8 {
 	if x == 255 {
 		return x

@@ -25,6 +25,8 @@ func (c *ctlBase) Stats() *Stats { return &c.s }
 // retire accounts a block leaving HBM (eviction or invalidation): the
 // last-access-type statistic (§II-C), the zero-reuse counter used by α
 // adaptation, and the dirty writeback to DDR4 when requested.
+//
+//redvet:hotpath
 func (c *ctlBase) retire(e *tagEntry, writebackDirty bool) {
 	c.s.LastEvictTotal++
 	if e.lastWrite {
@@ -41,6 +43,8 @@ func (c *ctlBase) retire(e *tagEntry, writebackDirty bool) {
 
 // install points e at addr's frame as a fresh clean resident.  Valid
 // victims must have been retired by the caller.
+//
+//redvet:hotpath
 func (c *ctlBase) install(e *tagEntry, addr mem.Addr) {
 	_, tag := c.tags.frame(addr)
 	e.tag = tag
@@ -51,6 +55,8 @@ func (c *ctlBase) install(e *tagEntry, addr mem.Addr) {
 }
 
 // frameBase aligns addr down to its transfer-granularity frame.
+//
+//redvet:hotpath
 func (c *ctlBase) frameBase(addr mem.Addr) mem.Addr {
 	return addr &^ mem.Addr(c.tags.granularity()-1)
 }

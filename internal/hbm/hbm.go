@@ -178,12 +178,16 @@ func newTagStore(capacityB int64, granularity int) *tagStore {
 }
 
 // frame returns the frame index and the stored tag for addr.
+//
+//redvet:hotpath
 func (t *tagStore) frame(addr mem.Addr) (idx uint64, tag uint64) {
 	g := uint64(addr) >> t.gShift
 	return g & t.mask, g
 }
 
 // lookup probes the tag store without modifying it.
+//
+//redvet:hotpath
 func (t *tagStore) lookup(addr mem.Addr) (e *tagEntry, hit bool) {
 	idx, tag := t.frame(addr)
 	e = &t.entries[idx]
@@ -191,17 +195,23 @@ func (t *tagStore) lookup(addr mem.Addr) (e *tagEntry, hit bool) {
 }
 
 // present reports whether addr currently resides in the cache.
+//
+//redvet:hotpath
 func (t *tagStore) present(addr mem.Addr) bool {
 	_, hit := t.lookup(addr)
 	return hit
 }
 
 // base returns the first byte address covered by the entry's frame.
+//
+//redvet:hotpath
 func (t *tagStore) base(e *tagEntry) mem.Addr {
 	return mem.Addr(e.tag << t.gShift)
 }
 
 // granularity returns the frame size in bytes.
+//
+//redvet:hotpath
 func (t *tagStore) granularity() int { return 1 << t.gShift }
 
 // occupancy counts valid frames (tests).

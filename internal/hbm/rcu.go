@@ -55,9 +55,13 @@ func newRCUManager(hbm *dram.Controller, capacity int, st *RCUStats,
 }
 
 // Len reports the number of pending updates.
+//
+//redvet:hotpath
 func (r *rcuManager) Len() int { return len(r.entries) }
 
 // find returns the index of addr's entry, or -1.
+//
+//redvet:hotpath
 func (r *rcuManager) find(addr mem.Addr) int {
 	for i := range r.entries {
 		if r.entries[i].addr == addr {
@@ -70,6 +74,8 @@ func (r *rcuManager) find(addr mem.Addr) int {
 // put registers (or refreshes) a deferred r-count update.  When the
 // queue is full the oldest pending update is dropped — its count stays
 // stale in DRAM.
+//
+//redvet:hotpath
 func (r *rcuManager) put(addr mem.Addr, count uint8) {
 	addr = addr.Align()
 	if i := r.find(addr); i >= 0 {
@@ -87,11 +93,17 @@ func (r *rcuManager) put(addr mem.Addr, count uint8) {
 		r.entries = r.entries[:len(r.entries)-1]
 	}
 	r.st.Enqueued++
-	r.entries = append(r.entries, rcuEntry{addr: addr, loc: r.hbm.Map(addr), count: count})
+	// Reslice push: the backing array is preallocated to the CAM
+	// capacity and the overflow branch above guarantees room.
+	n := len(r.entries)
+	r.entries = r.entries[:n+1]
+	r.entries[n] = rcuEntry{addr: addr, loc: r.hbm.Map(addr), count: count}
 	r.tr.Emit(obs.EvRCUEnqueue, uint64(addr), int64(count), int64(len(r.entries)))
 }
 
 // lookup returns the pending count for addr, if any.
+//
+//redvet:hotpath
 func (r *rcuManager) lookup(addr mem.Addr) (count uint8, ok bool) {
 	if i := r.find(addr.Align()); i >= 0 {
 		return r.entries[i].count, true
@@ -102,10 +114,15 @@ func (r *rcuManager) lookup(addr mem.Addr) (count uint8, ok bool) {
 // onWrite is the dram.WriteHook: when a demand write column command
 // issues to loc, same-row pending updates piggyback onto the burst and
 // are persisted.  It returns the extra bytes appended to the transfer.
+//
+//redvet:hotpath
 func (r *rcuManager) onWrite(loc dram.Location) int {
-	n := 0
-	kept := r.entries[:0]
-	for _, e := range r.entries {
+	// In-place index filter (compacts survivors to the front); the
+	// equivalent kept/append idiom cannot be statically proven
+	// non-growing even though it never grows.
+	n, k := 0, 0
+	for i := range r.entries {
+		e := r.entries[i]
 		if e.loc.SameRow(loc) {
 			n++
 			r.st.Piggyback++
@@ -113,9 +130,10 @@ func (r *rcuManager) onWrite(loc dram.Location) int {
 			r.persist(e.addr, e.count)
 			continue
 		}
-		kept = append(kept, e)
+		r.entries[k] = e
+		k++
 	}
-	r.entries = kept
+	r.entries = r.entries[:k]
 	return n * rcUpdateBytes
 }
 
@@ -124,13 +142,16 @@ func (r *rcuManager) onWrite(loc dram.Location) int {
 // gated on queue pressure — below half capacity the updates stay put,
 // since an aged-out update merely goes stale while every flush write
 // still activates a row the next demand access may have to close.
+//
+//redvet:hotpath
 func (r *rcuManager) onIdle(ch int) {
 	if len(r.entries) <= r.cap/2 {
 		return
 	}
-	kept := r.entries[:0]
 	budget := len(r.entries) - r.cap/2
-	for _, e := range r.entries {
+	k := 0
+	for i := range r.entries {
+		e := r.entries[i]
 		if budget > 0 && e.loc.Channel == ch {
 			r.st.IdleFlush++
 			r.tr.Emit(obs.EvRCUIdleFlush, uint64(e.addr), int64(e.count), 0)
@@ -139,18 +160,22 @@ func (r *rcuManager) onIdle(ch int) {
 			budget--
 			continue
 		}
-		kept = append(kept, e)
+		r.entries[k] = e
+		k++
 	}
-	r.entries = kept
+	r.entries = r.entries[:k]
 }
 
 // dropBlock removes a pending update for addr, returning its count: a
 // demand write to the block carries the fresh count for free, and a
 // departing block's update must not clobber the frame's next resident.
+//
+//redvet:hotpath
 func (r *rcuManager) dropBlock(addr mem.Addr) (count uint8, ok bool) {
 	if i := r.find(addr.Align()); i >= 0 {
 		count = r.entries[i].count
-		r.entries = append(r.entries[:i], r.entries[i+1:]...)
+		copy(r.entries[i:], r.entries[i+1:])
+		r.entries = r.entries[:len(r.entries)-1]
 		r.st.Merged++
 		return count, true
 	}

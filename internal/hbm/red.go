@@ -87,6 +87,7 @@ func (c *red) Drain() {
 	c.s.Gamma.FinalGamma = c.gamma
 }
 
+//redvet:hotpath
 func (c *red) currentAlpha() int {
 	if c.at == nil {
 		return 0
@@ -103,6 +104,8 @@ func (c *red) Gamma() int { return c.gamma }
 // near the upper range of observed reuse counts — invalidating at the
 // median lifetime would cut half of all blocks off mid-life and turn
 // their next access into a miss.
+//
+//redvet:hotpath
 func (c *red) updateGamma(rcount uint8) {
 	r := int(rcount)
 	old := c.gamma
@@ -153,6 +156,8 @@ func (c *red) checkRegret(addr mem.Addr) {
 // visibleCount returns the freshest r-count the controller can see for a
 // resident block: the RCU CAM if an update is pending, else the value
 // the TAD probe returned (which may be stale when updates were dropped).
+//
+//redvet:hotpath
 func (c *red) visibleCount(e *tagEntry, addr mem.Addr) uint8 {
 	if c.f.rcu {
 		if cnt, ok := c.rcu.lookup(addr); ok {

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BaselineEntry sanctions one known legacy finding.  Entries are keyed
+// by (analyzer, file, message) — deliberately without line numbers, so
+// unrelated edits above a sanctioned site don't churn the baseline.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	// File is module-relative with forward slashes.
+	File    string `json:"file"`
+	Message string `json:"message"`
+	// Justification is required: why this finding is sanctioned instead
+	// of fixed.  The parser rejects entries without one.
+	Justification string `json:"justification"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// Baseline is a parsed redvet.baseline file: JSON-lines, with `#`
+// comment lines and blank lines ignored.
+type Baseline struct {
+	entries map[string]BaselineEntry
+	used    map[string]bool
+}
+
+// ParseBaseline reads the JSONL baseline format.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	b := &Baseline{entries: make(map[string]BaselineEntry), used: make(map[string]bool)}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var e BaselineEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("baseline line %d: %v", lineNo, err)
+		}
+		if e.Analyzer == "" || e.File == "" || e.Message == "" {
+			return nil, fmt.Errorf("baseline line %d: analyzer, file and message are all required", lineNo)
+		}
+		if strings.TrimSpace(e.Justification) == "" {
+			return nil, fmt.Errorf("baseline line %d: a non-empty justification is required to sanction a finding", lineNo)
+		}
+		if _, dup := b.entries[e.key()]; dup {
+			return nil, fmt.Errorf("baseline line %d: duplicate entry for %s %s", lineNo, e.Analyzer, e.File)
+		}
+		b.entries[e.key()] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Len reports the number of sanctioned entries.
+func (b *Baseline) Len() int { return len(b.entries) }
+
+// Filter removes baselined diagnostics from ds (resolving filenames
+// relative to root) and returns the survivors plus any stale entries —
+// sanctioned findings that no longer fire and must be deleted from the
+// baseline so it only ever shrinks.
+func (b *Baseline) Filter(root string, ds []Diagnostic) (kept []Diagnostic, stale []BaselineEntry) {
+	for _, d := range ds {
+		e := BaselineEntry{Analyzer: d.Analyzer, File: RelFile(root, d.Pos.Filename), Message: d.Message}
+		if _, ok := b.entries[e.key()]; ok {
+			b.used[e.key()] = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for k, e := range b.entries {
+		if !b.used[k] {
+			stale = append(stale, e)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].key() < stale[j].key() })
+	return kept, stale
+}
+
+// RelFile renders filename relative to root with forward slashes; if
+// the file is outside root it is returned unchanged (slashed).
+func RelFile(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const baselineDoc = `# redvet baseline — sanctioned legacy findings.
+# Each line is one JSON entry; the file may only shrink.
+
+{"analyzer":"noalloc","file":"internal/x/x.go","message":"allocation on hot path f: make allocates","justification":"legacy buffer, tracked in the v2 cleanup"}
+{"analyzer":"unitflow","file":"internal/y/y.go","message":"nanosecond-domain value ns reaches sink","justification":"converted at the call site, analyzer cannot see it"}
+`
+
+func TestParseBaseline(t *testing.T) {
+	b, err := ParseBaseline([]byte(baselineDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+}
+
+func TestParseBaselineRejects(t *testing.T) {
+	cases := []struct {
+		name, line, wantErr string
+	}{
+		{"not json", "nonsense", "baseline line 1"},
+		{"missing fields", `{"analyzer":"noalloc"}`, "all required"},
+		{"missing justification", `{"analyzer":"a","file":"f","message":"m"}`, "justification"},
+		{"blank justification", `{"analyzer":"a","file":"f","message":"m","justification":"  "}`, "justification"},
+		{
+			"duplicate",
+			`{"analyzer":"a","file":"f","message":"m","justification":"x"}` + "\n" +
+				`{"analyzer":"a","file":"f","message":"m","justification":"y"}`,
+			"duplicate",
+		},
+	}
+	for _, c := range cases {
+		if _, err := ParseBaseline([]byte(c.line)); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func diag(analyzer, file, msg string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: 1, Column: 1},
+		Message:  msg,
+	}
+}
+
+func TestBaselineFilterAndStale(t *testing.T) {
+	b, err := ParseBaseline([]byte(baselineDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := []Diagnostic{
+		diag("noalloc", "/repo/internal/x/x.go", "allocation on hot path f: make allocates"),
+		diag("noalloc", "/repo/internal/x/x.go", "a brand new finding"),
+	}
+	kept, stale := b.Filter("/repo", ds)
+	if len(kept) != 1 || kept[0].Message != "a brand new finding" {
+		t.Fatalf("kept = %v, want only the new finding", kept)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "unitflow" {
+		t.Fatalf("stale = %v, want the unmatched unitflow entry", stale)
+	}
+}
+
+func TestRelFile(t *testing.T) {
+	if got := RelFile("/repo", "/repo/internal/x/x.go"); got != "internal/x/x.go" {
+		t.Errorf("RelFile inside root = %q", got)
+	}
+	if got := RelFile("/repo", "/elsewhere/y.go"); got != "/elsewhere/y.go" {
+		t.Errorf("RelFile outside root = %q", got)
+	}
+}

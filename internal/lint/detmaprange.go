@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -48,9 +49,43 @@ func runDetMapRange(pass *Pass) {
 		if orderInsensitiveBody(pass, rs.Body) {
 			return true
 		}
-		pass.Reportf(rs.For, "range over map %s has nondeterministic order; sort the keys first or annotate //redvet:ordered with a justification", exprString(rs.X))
+		pass.ReportFix(rs.For, gatherSortFix(pass, rs),
+			"range over map %s has nondeterministic order; sort the keys first or annotate //redvet:ordered with a justification", exprString(rs.X))
 		return true
 	})
+}
+
+// gatherSortFix renders the mechanical gather-then-sort replacement for
+// a map range, with the real map expression and key type filled in.
+func gatherSortFix(pass *Pass, rs *ast.RangeStmt) string {
+	m, ok := pass.Info.TypeOf(rs.X).Underlying().(*types.Map)
+	if !ok {
+		return ""
+	}
+	keyT := types.TypeString(m.Key(), func(p *types.Package) string { return p.Name() })
+	mapExpr := exprString(rs.X)
+	keyVar := "k"
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyVar = id.Name
+	}
+	cmp := "keys[i] < keys[j]"
+	if !isOrderedType(m.Key()) {
+		cmp = "/* order keys[i] before keys[j] */"
+	}
+	return fmt.Sprintf(`keys := make([]%s, 0, len(%s))
+for %s := range %s {
+	keys = append(keys, %s)
+}
+sort.Slice(keys, func(i, j int) bool { return %s })
+for _, %s := range keys {
+	// ... body using %s and %s[%s]
+}`, keyT, mapExpr, keyVar, mapExpr, keyVar, cmp, keyVar, keyVar, mapExpr, keyVar)
+}
+
+// isOrderedType reports whether < is defined for t.
+func isOrderedType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsOrdered) != 0
 }
 
 func isMapType(pass *Pass, x ast.Expr) bool {

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Fact cache: serialized per-package facts stored alongside the
+// loader's export data, keyed by the export-data identity of the
+// package and its in-module dependencies.  `go list -export` names
+// export files by content-addressed build IDs under GOCACHE, so any
+// source change (comments and directives included, which feed the
+// build ID) yields a new path and therefore a cache miss — no
+// staleness tracking needed beyond the key.
+
+// factCacheKey returns the cache file name for pkg, or "" when the
+// package has no export data (cannot be keyed safely).
+func factCacheKey(pkg *Package, byPath map[string]*Package) string {
+	if pkg.Export == "" {
+		return ""
+	}
+	h := sha256.New()
+	fmt.Fprintln(h, runtime.Version())
+	fmt.Fprintln(h, pkg.Path)
+	fmt.Fprintln(h, pkg.Export)
+	deps := append([]string(nil), pkg.Deps...)
+	sort.Strings(deps)
+	for _, d := range deps {
+		if dp, ok := byPath[d]; ok {
+			fmt.Fprintln(h, dp.Export)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)) + ".facts.json"
+}
+
+// byPath indexes the session's packages by import path.
+func (s *Session) byPath() map[string]*Package {
+	m := make(map[string]*Package, len(s.Packages))
+	for _, p := range s.Packages {
+		m[p.Path] = p
+	}
+	return m
+}
+
+// LoadFactCache imports cached facts from dir for every package whose
+// key matches, sealing those packages so their fact phases are skipped.
+// Best-effort: unreadable or mismatched files are ignored.
+func (s *Session) LoadFactCache(dir string) {
+	byPath := s.byPath()
+	for _, pkg := range s.Packages {
+		key := factCacheKey(pkg, byPath)
+		if key == "" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, key))
+		if err != nil {
+			continue
+		}
+		_ = s.Facts.ImportPackage(pkg.Path, data) // bad cache entry → recompute
+	}
+}
+
+// SaveFactCache writes each package's facts to dir (created if needed)
+// after a Run, so the next invocation can skip unchanged packages.
+func (s *Session) SaveFactCache(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	byPath := s.byPath()
+	for _, pkg := range s.Packages {
+		key := factCacheKey(pkg, byPath)
+		if key == "" {
+			continue
+		}
+		data, err := s.Facts.ExportPackage(pkg.Path)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, key), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

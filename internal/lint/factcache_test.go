@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFactCacheRoundTrip saves one session's facts and checks a second
+// session imports them (sealing the packages so fact phases are
+// skipped) and reaches identical diagnostics.
+func TestFactCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	load := func() []*Package {
+		pkgs, err := Load("../..", "./internal/lint/testdata/src/unitflow")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pkgs
+	}
+
+	first := NewSession(load())
+	first.IgnoreScope = true
+	want := first.Run([]*Analyzer{UnitFlow})
+	if len(want) == 0 {
+		t.Fatal("fixture produced no diagnostics; the round trip proves nothing")
+	}
+	if err := first.SaveFactCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("SaveFactCache wrote no files")
+	}
+	for _, f := range files {
+		if filepath.Ext(f.Name()) != ".json" {
+			t.Errorf("unexpected cache file %s", f.Name())
+		}
+	}
+
+	second := NewSession(load())
+	second.IgnoreScope = true
+	second.LoadFactCache(dir)
+	for _, pkg := range second.Packages {
+		if pkg.Export != "" && !second.Facts.HasPackage(pkg.Path) {
+			t.Errorf("package %s not imported from the fact cache", pkg.Path)
+		}
+	}
+	got := second.Run([]*Analyzer{UnitFlow})
+	if len(got) != len(want) {
+		t.Fatalf("cached run: %d diagnostics, fresh run: %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].String() != want[i].String() {
+			t.Errorf("diagnostic %d differs:\ncached: %s\nfresh:  %s", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONDiagnostic is the stable machine-readable finding schema emitted
+// by `redvet -json`.  Fields are append-only across versions; tools
+// must ignore unknown fields.
+type JSONDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	// File is module-relative with forward slashes, so output is
+	// identical across checkouts and operating systems.
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	Fix     string `json:"fix,omitempty"`
+}
+
+// ToJSON converts diagnostics (already sorted by the Session) into the
+// stable schema, relativizing paths against root.
+func ToJSON(root string, ds []Diagnostic) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, JSONDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     RelFile(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+			Fix:      d.Fix,
+		})
+	}
+	return out
+}
+
+// WriteJSON emits the findings as one indented JSON array (an empty
+// run prints `[]`), deterministic given sorted input.
+func WriteJSON(w io.Writer, root string, ds []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(ToJSON(root, ds))
+}

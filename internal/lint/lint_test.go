@@ -3,6 +3,8 @@ package lint
 import (
 	"bufio"
 	"fmt"
+	"go/parser"
+	"go/token"
 	"os"
 	"regexp"
 	"strings"
@@ -19,10 +21,11 @@ type expectation struct {
 	matched bool
 }
 
-// runFixture loads one testdata package, runs the analyzer, and checks
-// its diagnostics against the fixture's `// want` comments — the same
-// contract as golang.org/x/tools' analysistest, reimplemented on the
-// standard library.
+// runFixture loads one testdata package, runs the analyzer through a
+// Session (so cross-package facts from the fixture's in-module
+// dependencies are available), and checks its diagnostics against the
+// fixture's `// want` comments — the same contract as golang.org/x/
+// tools' analysistest, reimplemented on the standard library.
 func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	t.Helper()
 	pkgs, err := Load("../..", "./internal/lint/testdata/src/"+fixture)
@@ -35,15 +38,17 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) {
 
 	var wants []*expectation
 	for _, pkg := range pkgs {
-		for file := range pkg.Directives {
-			wants = append(wants, fileExpectations(t, file)...)
+		if !pkg.Target {
+			continue
+		}
+		for _, f := range pkg.Files {
+			wants = append(wants, fileExpectations(t, pkg.Fset.Position(f.Pos()).Filename)...)
 		}
 	}
 
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		diags = append(diags, a.Analyze(pkg)...)
-	}
+	session := NewSession(pkgs)
+	session.IgnoreScope = true // testdata paths fall outside production scopes
+	diags := session.Run([]*Analyzer{a})
 
 	for _, d := range diags {
 		found := false
@@ -91,6 +96,8 @@ func TestDetMapRange(t *testing.T) { runFixture(t, DetMapRange, "detmaprange") }
 func TestNoWallClock(t *testing.T) { runFixture(t, NoWallClock, "nowallclock") }
 func TestCycleUnits(t *testing.T)  { runFixture(t, CycleUnits, "cycleunits") }
 func TestStatsPath(t *testing.T)   { runFixture(t, StatsPath, "statspath") }
+func TestNoAlloc(t *testing.T)     { runFixture(t, NoAlloc, "noalloc") }
+func TestUnitFlow(t *testing.T)    { runFixture(t, UnitFlow, "unitflow") }
 
 // TestRepoIsClean runs the full suite over the whole repository — the
 // same gate CI applies with `go run ./cmd/redvet ./...` — so a lint
@@ -103,16 +110,10 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	diags := NewSession(pkgs).Run(All())
 	var failures []string
-	for _, pkg := range pkgs {
-		for _, a := range All() {
-			if !a.Scope(pkg.Path) {
-				continue
-			}
-			for _, d := range a.Analyze(pkg) {
-				failures = append(failures, d.String())
-			}
-		}
+	for _, d := range diags {
+		failures = append(failures, d.String())
 	}
 	if len(failures) > 0 {
 		t.Fatalf("redvet found %d violation(s):\n%s",
@@ -155,11 +156,52 @@ func TestScopes(t *testing.T) {
 		{StatsPath, "redcache/internal/experiments", true},
 		{StatsPath, "redcache/cmd/redbench", false},
 		{StatsPath, "redcache/internal/lint", false},
+		{NoAlloc, "redcache/internal/engine", true},
+		{NoAlloc, "redcache/internal/lint", true},
+		{UnitFlow, "redcache/internal/dram", true},
+		{UnitFlow, "redcache/internal/lint", false},
+		{UnitFlow, "redcache/internal/lint/testdata/src/unitflow", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Scope(c.path); got != c.want {
 			t.Errorf("%s.Scope(%q) = %v, want %v", c.analyzer.Name, c.path, got, c.want)
 		}
+	}
+}
+
+// TestDirectiveAudit checks the justification contract on a synthetic
+// package: unknown tokens and bare suppression tokens are findings,
+// justified suppressions and contract markers are not.
+func TestDirectiveAudit(t *testing.T) {
+	src := `package p
+
+//redvet:orderd — typo'd token
+//redvet:wallclock
+//redvet:units — properly justified
+//redvet:hotpath
+func f() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{
+		Path:       "synthetic/p",
+		Fset:       fset,
+		Directives: map[string]map[int][]Directive{"p.go": directiveLines(fset, f)},
+		Generated:  map[string]bool{},
+	}
+	ds := auditDirectives(pkg)
+	sortDiagnostics(ds)
+	if len(ds) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(ds), ds)
+	}
+	if !strings.Contains(ds[0].Message, `unknown redvet directive "orderd"`) {
+		t.Errorf("finding 0 = %q, want unknown-directive", ds[0].Message)
+	}
+	if !strings.Contains(ds[1].Message, "//redvet:wallclock needs a justification") {
+		t.Errorf("finding 1 = %q, want missing-justification", ds[1].Message)
 	}
 }
 

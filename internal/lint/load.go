@@ -13,6 +13,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"sort"
 )
 
 // Package is one loaded, parsed and type-checked package.
@@ -23,8 +25,19 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
-	// Directives maps filename -> line -> redvet tokens on that line.
-	Directives map[string]map[int][]string
+	// Target is true for packages matched by the load patterns; false
+	// for in-module dependencies pulled in only for fact computation.
+	Target bool
+	// Deps is the transitive dependency set as reported by go list.
+	Deps []string
+	// Export is the compiled export-data file for this package, when go
+	// list produced one (used to key the fact cache).
+	Export string
+	// Directives maps filename -> line -> redvet directives on that line.
+	Directives map[string]map[int][]Directive
+	// Generated marks files with a `// Code generated ... DO NOT EDIT.`
+	// header; diagnostics in them are suppressed.
+	Generated map[string]bool
 }
 
 // listedPackage is the subset of `go list -json` output we consume.
@@ -33,9 +46,14 @@ type listedPackage struct {
 	Dir        string
 	GoFiles    []string
 	Export     string
+	Deps       []string
 	Standard   bool
 	DepOnly    bool
-	Error      *struct{ Err string }
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct{ Err string }
 }
 
 // Load resolves patterns (e.g. "./...") from dir into fully
@@ -43,6 +61,11 @@ type listedPackage struct {
 // every dependency — standard library and in-module alike — is imported
 // from compiled export data, which works offline and needs nothing
 // beyond the Go toolchain.
+//
+// The result contains the pattern-matched packages (Target=true) plus
+// every in-module dependency of them (Target=false, loaded so analyzer
+// fact phases can see their bodies), in dependency order: a package
+// always appears after all of its dependencies.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -58,7 +81,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 
 	exports := make(map[string]string) // import path -> export data file
-	var targets []*listedPackage
+	var wanted []*listedPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listedPackage
@@ -73,11 +96,26 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		// Keep the pattern targets and any dependency that lives in the
+		// main module (analyzer facts must be computed from its source).
+		if !p.DepOnly || (p.Module != nil && p.Module.Main) {
 			cp := p
-			targets = append(targets, &cp)
+			wanted = append(wanted, &cp)
 		}
 	}
+
+	// Dependency order: go list's Deps is transitive, so a dependency's
+	// set is strictly smaller than any dependent's.  Path breaks ties
+	// deterministically between unrelated packages.
+	sort.Slice(wanted, func(i, j int) bool {
+		if len(wanted[i].Deps) != len(wanted[j].Deps) {
+			return len(wanted[i].Deps) < len(wanted[j].Deps)
+		}
+		return wanted[i].ImportPath < wanted[j].ImportPath
+	})
 
 	fset := token.NewFileSet()
 	lookup := func(path string) (io.ReadCloser, error) {
@@ -90,8 +128,8 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	imp := importer.ForCompiler(fset, "gc", lookup)
 
 	var pkgs []*Package
-	for _, t := range targets {
-		pkg, err := typecheck(fset, imp, t)
+	for _, w := range wanted {
+		pkg, err := typecheck(fset, imp, w)
 		if err != nil {
 			return nil, err
 		}
@@ -100,9 +138,30 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// generatedRe matches the standard generated-file marker
+// (https://go.dev/s/generatedcode): a whole-line comment of the form
+// `// Code generated <by what> DO NOT EDIT.` before the package clause.
+var generatedRe = regexp.MustCompile(`^// Code generated .* DO NOT EDIT\.$`)
+
+// isGenerated reports whether f carries the generated-file header.
+func isGenerated(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if generatedRe.MatchString(c.Text) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
 	files := make([]*ast.File, 0, len(lp.GoFiles))
-	directives := make(map[string]map[int][]string)
+	directives := make(map[string]map[int][]Directive)
+	generated := make(map[string]bool)
 	for _, name := range lp.GoFiles {
 		path := filepath.Join(lp.Dir, name)
 		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
@@ -111,6 +170,9 @@ func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Pac
 		}
 		files = append(files, f)
 		directives[path] = directiveLines(fset, f)
+		if isGenerated(f) {
+			generated[path] = true
+		}
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -131,6 +193,10 @@ func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Pac
 		Files:      files,
 		Types:      tpkg,
 		Info:       info,
+		Target:     !lp.DepOnly,
+		Deps:       lp.Deps,
+		Export:     lp.Export,
 		Directives: directives,
+		Generated:  generated,
 	}, nil
 }

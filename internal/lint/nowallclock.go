@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/printer"
 	"go/token"
@@ -64,11 +65,15 @@ func runNoWallClock(pass *Pass) {
 		switch obj.Pkg().Path() {
 		case "time":
 			if wallClockFuncs[obj.Name()] {
-				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation time must come from engine.Engine.Now (annotate //redvet:wallclock if this is host-side tooling)", obj.Name())
+				pass.ReportFix(sel.Pos(),
+					"eng.Now() // simulated cycle clock; plumb the *engine.Engine into this component",
+					"time.%s reads the wall clock; simulation time must come from engine.Engine.Now (annotate //redvet:wallclock if this is host-side tooling)", obj.Name())
 			}
 		case "math/rand", "math/rand/v2":
 			if !seededRandCtors[obj.Name()] {
-				pass.Reportf(sel.Pos(), "%s.%s uses the global random generator; build a seeded generator with rand.New(rand.NewSource(seed)) so runs are reproducible", pathBase(obj.Pkg().Path()), obj.Name())
+				pass.ReportFix(sel.Pos(),
+					fmt.Sprintf("rng := rand.New(rand.NewSource(cfg.Seed))\nrng.%s(...) // per-component seeded generator", obj.Name()),
+					"%s.%s uses the global random generator; build a seeded generator with rand.New(rand.NewSource(seed)) so runs are reproducible", pathBase(obj.Pkg().Path()), obj.Name())
 			}
 		}
 		return true

@@ -1,0 +1,6 @@
+// Package buildtags is a loader fixture: skip.go is excluded by a
+// build constraint, so the loader must see exactly one file.
+package buildtags
+
+// Keep is the only symbol visible under the default build configuration.
+func Keep() int { return 1 }

@@ -1,0 +1,9 @@
+//go:build redvet_fixture_skip
+
+package buildtags
+
+import "time"
+
+// Skip exists only under the redvet_fixture_skip tag; if the loader
+// ever parsed this file, nowallclock would flag the call below.
+func Skip() int64 { return time.Now().UnixNano() }

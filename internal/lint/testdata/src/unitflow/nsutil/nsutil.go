@@ -1,0 +1,22 @@
+// Package nsutil is the dependency side of the unitflow fixture: it
+// launders nanosecond values through returns, parameter forwarding and
+// a transitive engine sink, so the target package can only catch them
+// through cross-package facts.
+package nsutil
+
+import (
+	"time"
+
+	"redcache/internal/engine"
+)
+
+// LatencyNS returns a wall-clock latency in nanoseconds (NSReturn fact).
+func LatencyNS() int64 { return time.Now().UnixNano() }
+
+// Forward returns its argument unchanged (ReturnFromParam fact).
+func Forward(v int64) int64 { return v }
+
+// Sched forwards its argument into the engine's scheduling sink
+// (NSSinkParam fact: callers passing nanoseconds are flagged at their
+// own call site).
+func Sched(e *engine.Engine, at int64) { e.Schedule(at, nil) }

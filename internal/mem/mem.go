@@ -87,6 +87,8 @@ type Request struct {
 // Handing the raw func to a scheduler instead of wrapping r.Complete in
 // a fresh closure keeps controller hot paths allocation-free; the
 // exactly-once obligation transfers to the caller along with the func.
+//
+//redvet:hotpath
 func (r *Request) TakeDone() func(finish int64) {
 	done := r.Done
 	r.Done = nil
@@ -94,6 +96,8 @@ func (r *Request) TakeDone() func(finish int64) {
 }
 
 // Complete invokes Done if set.  Controllers must call it exactly once.
+//
+//redvet:hotpath
 func (r *Request) Complete(finish int64) {
 	if r.Done != nil {
 		done := r.Done

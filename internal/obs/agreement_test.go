@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"redcache/internal/lint"
+)
+
+// runtimeGuarded lists the functions whose allocation behavior the
+// AllocsPerRun guards in alloc_test.go exercise at runtime, by their
+// fully-qualified fact-store keys.  TestHotpathGuardAgreement holds
+// this set equal to the //redvet:hotpath annotations in the package
+// source, so the static proof and the runtime guard can never drift
+// apart: annotating a new hot function without guarding it (or the
+// reverse) fails this test.
+var runtimeGuarded = []string{
+	"(*redcache/internal/obs.Series).sample",
+	"(*redcache/internal/obs.Series).slot",
+	"(*redcache/internal/obs.Telemetry).Sample",
+	"(*redcache/internal/obs.Tracer).Emit",
+	"(*redcache/internal/obs.Tracer).clock",
+	"(*redcache/internal/obs.Val).Add",
+	"(*redcache/internal/obs.Val).Inc",
+	"(*redcache/internal/obs.Val).Set",
+	"(*redcache/internal/obs.Val).Value",
+}
+
+func TestHotpathGuardAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the package via go list -export")
+	}
+	pkgs, err := lint.Load("../..", "./internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := lint.NewSession(pkgs)
+	session.Run([]*lint.Analyzer{lint.NoAlloc})
+
+	annotated := session.Facts.HotpathFuncs("redcache/internal/obs")
+	want := append([]string(nil), runtimeGuarded...)
+	sort.Strings(want)
+	if !reflect.DeepEqual(annotated, want) {
+		t.Errorf("static //redvet:hotpath set and runtime guard set disagree:\nannotated: %v\nguarded:   %v",
+			annotated, want)
+	}
+}

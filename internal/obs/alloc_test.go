@@ -32,6 +32,41 @@ func TestEmitEnabledZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestEmitAllKindsZeroAlloc sweeps every event kind (each a distinct
+// payload interpretation) through both the fill and the wrap-around
+// path of the ring: no kind may allocate.
+func TestEmitAllKindsZeroAlloc(t *testing.T) {
+	cycle := int64(0)
+	tr := NewTracer(4, func() int64 { return cycle }) // tiny ring: wraps immediately
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if allocs := testing.AllocsPerRun(100, func() {
+			cycle++
+			tr.Emit(k, uint64(cycle), int64(k), cycle)
+		}); allocs != 0 {
+			t.Fatalf("Emit(%s) allocated %.1f allocs/op, want 0", k, allocs)
+		}
+	}
+	if tr.DroppedEvents == 0 {
+		t.Fatal("ring never wrapped; the overwrite path went unguarded")
+	}
+}
+
+// TestValCellsZeroAlloc guards the push-cell hot-path methods the
+// static noalloc proof also covers.
+func TestValCellsZeroAlloc(t *testing.T) {
+	var v Val
+	var sink int64
+	if allocs := testing.AllocsPerRun(1000, func() {
+		v.Set(3)
+		v.Add(4)
+		v.Inc()
+		sink += v.Value()
+	}); allocs != 0 {
+		t.Fatalf("Val cell ops allocated %.1f allocs/op, want 0", allocs)
+	}
+	_ = sink
+}
+
 func TestSampleAtMostOneAlloc(t *testing.T) {
 	tel, err := New(Options{EpochCycles: 100, SeriesCap: 1 << 16})
 	if err != nil {

@@ -132,15 +132,23 @@ func (r *Registry) Names() []string {
 type Val struct{ v int64 }
 
 // Set stores x.
+//
+//redvet:hotpath
 func (v *Val) Set(x int64) { v.v = x }
 
 // Add increments the cell by d.
+//
+//redvet:hotpath
 func (v *Val) Add(d int64) { v.v += d }
 
 // Inc increments the cell by one.
+//
+//redvet:hotpath
 func (v *Val) Inc() { v.v++ }
 
 // Value returns the current cell value.
+//
+//redvet:hotpath
 func (v *Val) Value() int64 { return v.v }
 
 // GaugeCell registers an int64 gauge backed by a push cell and returns

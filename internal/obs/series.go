@@ -47,6 +47,8 @@ func newSeries(reg *Registry, capacity int) *Series {
 
 // slot claims the ring position for the next row, overwriting the
 // oldest row once full.
+//
+//redvet:hotpath
 func (s *Series) slot() int {
 	if s.n == s.cap {
 		pos := s.head
@@ -68,6 +70,8 @@ func (s *Series) slot() int {
 // sample reads every probe into a fresh row at cycle now.  Counter
 // probes store the increment since their previous reading.  Zero
 // allocations once constructed.
+//
+//redvet:hotpath
 func (s *Series) sample(reg *Registry, now int64) {
 	pos := s.slot()
 	s.cycles[pos] = now

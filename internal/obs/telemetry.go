@@ -68,6 +68,8 @@ func (t *Telemetry) Start() {
 // Sample snapshots every probe into one epoch row at cycle now.  It is
 // the engine's periodic callback; after Start it performs zero
 // allocations.
+//
+//redvet:hotpath
 func (t *Telemetry) Sample(now int64) {
 	if t.ser == nil {
 		panic("obs: Sample before Start")

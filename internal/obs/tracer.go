@@ -94,6 +94,8 @@ func (t *Tracer) SetClock(now func() int64) {
 
 // Emit records one event at the current cycle.  Safe on a nil receiver;
 // zero allocations on every path.
+//
+//redvet:hotpath
 func (t *Tracer) Emit(kind EventKind, addr uint64, a, b int64) {
 	if t == nil || !t.Enabled {
 		return
@@ -114,6 +116,7 @@ func (t *Tracer) Emit(kind EventKind, addr uint64, a, b int64) {
 	t.buf[pos] = Event{Cycle: t.clock(), Kind: kind, Addr: addr, A: a, B: b}
 }
 
+//redvet:hotpath
 func (t *Tracer) clock() int64 {
 	if t.now == nil {
 		return 0
