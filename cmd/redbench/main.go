@@ -10,6 +10,8 @@
 //	redbench -csv out/       # also write CSV files
 //	redbench -table 1        # print Table I / Table II
 //	redbench -fig epochbw    # per-epoch bandwidth time series (telemetry)
+//	redbench -fig faultsweep # detected-vs-silent faults across rate decades
+//	redbench -faults default # fault-inject every run (see redsim -faults)
 package main
 
 import (
@@ -27,7 +29,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2a, 2b, 3, 9, 10, 11, stats, ablation, epochbw or all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 2a, 2b, 3, 9, 10, 11, stats, ablation, epochbw, faultsweep or all")
 		scale   = flag.String("scale", "default", "problem size: tiny, small or default")
 		csvDir  = flag.String("csv", "", "directory to write CSV outputs into")
 		table   = flag.Int("table", 0, "print Table 1 (config) or 2 (workloads) and exit")
@@ -36,6 +38,11 @@ func main() {
 		workers = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		epoch   = flag.Int64("epoch", 100000, "telemetry epoch length in CPU cycles (-fig epochbw)")
 		epochWl = flag.String("epochbw-workload", "LU", "workload for the -fig epochbw time series")
+
+		faults    = flag.String("faults", "off", "fault injection spec for every run: off, default, or k=v list (see redsim -faults)")
+		faultSeed = flag.Int64("faultseed", 1, "fault-injection PRNG seed")
+		invar     = flag.Int64("invariants", 0, "online invariant check period in cycles for every run (0 = off)")
+		sweepWl   = flag.String("faultsweep-workload", "LU", "workload for the -fig faultsweep rate sweep")
 	)
 	flag.Parse()
 
@@ -65,9 +72,21 @@ func main() {
 		fatal(fmt.Errorf("unknown scale %q", *scale))
 	}
 
+	fc, err := config.ParseFaults(*faults)
+	if err != nil {
+		fatal(err)
+	}
+	fc.Seed = *faultSeed
+
 	suite := experiments.NewSuite(sc)
 	if *workers > 0 {
 		suite.Parallel = *workers
+	}
+	if fc.Enabled() {
+		suite.Faults = &fc
+	}
+	if *invar > 0 {
+		suite.InvariantCycles = *invar
 	}
 	if *only != "" {
 		suite.Workloads = strings.Split(*only, ",")
@@ -201,6 +220,30 @@ func main() {
 					p.Name, p.RelTime, p.RelHBMEnergy)
 			}
 		}
+	}
+
+	// The fault sweep is opt-in like the ablations: it varies fault
+	// rates across four decades, which the memoized figure cache keys
+	// deliberately don't cover.
+	if *fig == "faultsweep" {
+		base := fc
+		if !base.Enabled() {
+			base = config.DefaultFaults()
+			base.Seed = *faultSeed
+		}
+		pts, err := suite.FaultSweep(*sweepWl, hbm.ArchRedCache, base,
+			experiments.DefaultSweepMultipliers)
+		fatalIf(err)
+		fmt.Printf("\n== Fault sweep (%s, RedCache, rates x multiplier of %s) ==\n",
+			*sweepWl, base.Spec())
+		fmt.Println("ECC-bits tradeoff: tag/row/bus faults are detected and degraded;")
+		fmt.Println("data faults in the no-ECC region pass silently (DESIGN.md §10)")
+		for _, p := range pts {
+			fmt.Printf("  x%-6g detected %8d (tag %d, row %d, bus %d)  silent %8d (tag %d, data %d)  time %.3fx\n",
+				p.Multiplier, p.Detected, p.TagDetected, p.Row, p.Bus,
+				p.Silent, p.TagSilent, p.Data, p.RelTime)
+		}
+		writeCSV("faultsweep.csv", experiments.FaultSweepCSV(pts))
 	}
 
 	// Like ablation, the epoch-bandwidth series is opt-in: it needs one

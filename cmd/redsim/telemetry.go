@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -12,7 +13,7 @@ import (
 // as JSONL and CSV, and (with -events) the structured event trace.  The
 // summary line it prints is parsed by the CI smoke step, which checks
 // the sample count against the emitted row count.
-func writeTelemetry(dir string, tel *obs.Telemetry, events bool) error {
+func writeTelemetry(out io.Writer, dir string, tel *obs.Telemetry, events bool) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -47,13 +48,13 @@ func writeTelemetry(dir string, tel *obs.Telemetry, events bool) error {
 			return err
 		}
 	}
-	fmt.Printf("telemetry: %d samples x %d probes, %d events -> %s\n",
+	fmt.Fprintf(out, "telemetry: %d samples x %d probes, %d events -> %s\n",
 		tel.Rows(), tel.Reg.Len(), nEvents, dir)
 	if ser.DroppedRows > 0 {
-		fmt.Printf("telemetry: ring full, oldest %d rows dropped\n", ser.DroppedRows)
+		fmt.Fprintf(out, "telemetry: ring full, oldest %d rows dropped\n", ser.DroppedRows)
 	}
 	if d := tel.Tracer.DroppedEvents; d > 0 {
-		fmt.Printf("telemetry: event ring full, oldest %d events dropped\n", d)
+		fmt.Fprintf(out, "telemetry: event ring full, oldest %d events dropped\n", d)
 	}
 	return nil
 }

@@ -8,11 +8,16 @@
 //
 // Without -out, the tool prints a summary: record count, footprint,
 // write share, and a reuse-count histogram sketch.
+//
+// Exit status: 0 on success, 1 on a runtime failure (unreadable or
+// corrupt trace file, write error), 2 on a usage error (unknown flags,
+// conflicting modes, unknown workload or scale).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"text/tabwriter"
@@ -22,20 +27,56 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command.  Usage errors return 2,
+// runtime failures return 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("redtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list     = flag.Bool("list", false, "list available workloads")
-		workload = flag.String("workload", "", "workload label (e.g. LU)")
-		scale    = flag.String("scale", "default", "problem size: tiny, small or default")
-		cores    = flag.Int("cores", 16, "number of cores / trace streams")
-		seed     = flag.Int64("seed", 1, "workload PRNG seed")
-		out      = flag.String("out", "", "write the binary trace to this file")
-		inspect  = flag.String("inspect", "", "summarize an existing trace file")
+		list     = fs.Bool("list", false, "list available workloads")
+		workload = fs.String("workload", "", "workload label (e.g. LU)")
+		scale    = fs.String("scale", "default", "problem size: tiny, small or default")
+		cores    = fs.Int("cores", 16, "number of cores / trace streams")
+		seed     = fs.Int64("seed", 1, "workload PRNG seed")
+		out      = fs.String("out", "", "write the binary trace to this file")
+		inspect  = fs.String("inspect", "", "summarize an existing trace file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2 // flag package already reported to stderr
+	}
+	usage := func(err error) int {
+		fmt.Fprintln(stderr, "redtrace:", err)
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "redtrace:", err)
+		return 1
+	}
+
+	// The three modes are mutually exclusive; picking none (or an -out
+	// with nothing to write) is a usage error, not a silent no-op.
+	modes := 0
+	for _, on := range []bool{*list, *inspect != "", *workload != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return usage(fmt.Errorf("choose one of -list, -inspect or -workload"))
+	}
+	if *out != "" && *workload == "" {
+		return usage(fmt.Errorf("-out requires -workload"))
+	}
+	if *cores < 1 {
+		return usage(fmt.Errorf("-cores must be positive, got %d", *cores))
+	}
 
 	switch {
 	case *list:
-		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "LABEL\tBENCHMARK\tSUITE\tPAPER INPUT")
 		for _, s := range workloads.Catalog() {
 			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", s.Label, s.Name, s.Suite, s.Input)
@@ -43,29 +84,51 @@ func main() {
 		w.Flush()
 	case *inspect != "":
 		f, err := os.Open(*inspect)
-		fatalIf(err)
+		if err != nil {
+			return fail(err)
+		}
 		defer f.Close()
 		tr, err := trace.Decode(f)
-		fatalIf(err)
-		summarize(tr)
+		if err != nil {
+			return fail(fmt.Errorf("inspecting %s: %w", *inspect, err))
+		}
+		summarize(stdout, tr)
 	case *workload != "":
 		spec, err := workloads.ByLabel(*workload)
-		fatalIf(err)
+		if err != nil {
+			return usage(err)
+		}
 		sc, err := parseScale(*scale)
-		fatalIf(err)
+		if err != nil {
+			return usage(err)
+		}
 		tr := spec.Gen(*cores, sc, *seed)
 		if *out != "" {
-			f, err := os.Create(*out)
-			fatalIf(err)
-			fatalIf(trace.Encode(f, tr))
-			fatalIf(f.Close())
-			fmt.Printf("wrote %s\n", *out)
+			if err := writeTrace(*out, tr); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *out)
 		}
-		summarize(tr)
+		summarize(stdout, tr)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
+}
+
+// writeTrace encodes tr into path, reporting the first error from
+// create, encode, or close.
+func writeTrace(path string, tr *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Encode(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseScale(s string) (workloads.Scale, error) {
@@ -80,13 +143,13 @@ func parseScale(s string) (workloads.Scale, error) {
 	return 0, fmt.Errorf("unknown scale %q (want tiny, small or default)", s)
 }
 
-func summarize(tr *trace.Trace) {
-	fmt.Printf("workload:   %s\n", tr.Name)
-	fmt.Printf("streams:    %d\n", tr.Cores())
-	fmt.Printf("records:    %d\n", tr.Records())
-	fmt.Printf("footprint:  %.2f MB (%d blocks)\n",
+func summarize(w io.Writer, tr *trace.Trace) {
+	fmt.Fprintf(w, "workload:   %s\n", tr.Name)
+	fmt.Fprintf(w, "streams:    %d\n", tr.Cores())
+	fmt.Fprintf(w, "records:    %d\n", tr.Records())
+	fmt.Fprintf(w, "footprint:  %.2f MB (%d blocks)\n",
 		float64(tr.FootprintBytes())/(1<<20), tr.Footprint())
-	fmt.Printf("write share: %.1f%%\n", 100*tr.WriteShare())
+	fmt.Fprintf(w, "write share: %.1f%%\n", 100*tr.WriteShare())
 
 	reuse := tr.ReuseCounts()
 	hist := map[int]int{}
@@ -98,9 +161,9 @@ func summarize(tr *trace.Trace) {
 		keys = append(keys, k)
 	}
 	sort.Ints(keys)
-	fmt.Println("reuse histogram (accesses per block -> #blocks):")
+	fmt.Fprintln(w, "reuse histogram (accesses per block -> #blocks):")
 	for _, k := range keys {
-		fmt.Printf("  %4d+: %d\n", k, hist[k])
+		fmt.Fprintf(w, "  %4d+: %d\n", k, hist[k])
 	}
 }
 
@@ -110,11 +173,4 @@ func bucket(n int) int {
 		b *= 2
 	}
 	return b
-}
-
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "redtrace:", err)
-		os.Exit(1)
-	}
 }

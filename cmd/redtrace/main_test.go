@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{},                                  // no mode selected
+		{"-no-such-flag"},                   // unknown flag
+		{"-list", "-workload", "LU"},        // conflicting modes
+		{"-inspect", "x.trc", "-list"},      // conflicting modes
+		{"-out", "x.trc"},                   // -out without -workload
+		{"-workload", "NOPE"},               // unknown workload
+		{"-workload", "LU", "-scale", "xl"}, // unknown scale
+		{"-workload", "LU", "-cores", "0"},  // invalid core count
+	}
+	for _, args := range cases {
+		code, _, stderr := runCLI(args...)
+		if code != 2 {
+			t.Errorf("redtrace %v: exit %d, want 2 (stderr %q)", args, code, stderr)
+		}
+		if stderr == "" {
+			t.Errorf("redtrace %v: no diagnostic on stderr", args)
+		}
+	}
+}
+
+func TestInspectMissingFileExitsOne(t *testing.T) {
+	code, _, stderr := runCLI("-inspect", filepath.Join(t.TempDir(), "nope.trc"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, stderr)
+	}
+	if stderr == "" {
+		t.Error("no diagnostic on stderr")
+	}
+}
+
+func TestInspectCorruptAndTruncatedTraces(t *testing.T) {
+	dir := t.TempDir()
+	// A valid trace to truncate.
+	valid := filepath.Join(dir, "lu.trc")
+	if code, _, stderr := runCLI("-workload", "LU", "-scale", "tiny", "-cores", "2",
+		"-out", valid); code != 0 {
+		t.Fatalf("generating trace failed: %s", stderr)
+	}
+	whole, err := os.ReadFile(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(name string, b []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"bad magic":        write("magic.trc", []byte("NOPE-this-is-not-a-trace")),
+		"empty":            write("empty.trc", nil),
+		"truncated header": write("hdr.trc", whole[:6]),
+		"truncated body":   write("body.trc", whole[:len(whole)/2]),
+	}
+	for name, path := range cases {
+		code, _, stderr := runCLI("-inspect", path)
+		if code != 1 {
+			t.Errorf("%s: exit %d, want 1 (stderr %q)", name, code, stderr)
+		}
+		if !strings.Contains(stderr, "inspecting") && !strings.Contains(stderr, "trace") {
+			t.Errorf("%s: diagnostic %q does not identify the trace", name, stderr)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mg.trc")
+	code, genOut, stderr := runCLI("-workload", "MG", "-scale", "tiny", "-cores", "2",
+		"-seed", "3", "-out", path)
+	if code != 0 {
+		t.Fatalf("generate: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(genOut, "wrote "+path) {
+		t.Errorf("missing write confirmation:\n%s", genOut)
+	}
+	code, inspOut, stderr := runCLI("-inspect", path)
+	if code != 0 {
+		t.Fatalf("inspect: exit %d, stderr %q", code, stderr)
+	}
+	// The summary block is identical whether printed at generation or
+	// decoded back from disk: the codec is lossless.
+	idx := strings.Index(genOut, "workload:")
+	if idx < 0 || genOut[idx:] != inspOut {
+		t.Errorf("generate/inspect summaries differ:\n--- generate ---\n%s\n--- inspect ---\n%s",
+			genOut, inspOut)
+	}
+}
+
+func TestListMode(t *testing.T) {
+	code, stdout, stderr := runCLI("-list")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"LABEL", "LU", "MG"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("catalog missing %q:\n%s", want, stdout)
+		}
+	}
+}

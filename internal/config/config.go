@@ -208,6 +208,16 @@ func (s *System) Validate() error {
 	if s.Red.GammaMin > s.Red.GammaInit || s.Red.GammaInit > s.Red.GammaMax {
 		return errors.New("config: need GammaMin <= GammaInit <= GammaMax")
 	}
+	// Width limits: r-counts are stored as uint8 in the spare ECC bits,
+	// so a γ ceiling above 255 would make invalidation unreachable (the
+	// saturating count can never exceed γ); α compares against uint16
+	// page counters capped well below their saturation point.
+	if s.Red.GammaMin < 0 || s.Red.GammaMax > 255 {
+		return errors.New("config: gamma range must stay within the 8-bit r-count field [0, 255]")
+	}
+	if s.Red.AlphaMin < 0 || s.Red.AlphaMax > 1023 {
+		return errors.New("config: alpha range must stay within [0, 1023]")
+	}
 	return nil
 }
 

@@ -1,0 +1,116 @@
+package config
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseFaultsPresets(t *testing.T) {
+	for _, spec := range []string{"", "off", " off "} {
+		f, err := ParseFaults(spec)
+		if err != nil {
+			t.Fatalf("ParseFaults(%q): %v", spec, err)
+		}
+		if f != (Faults{}) || f.Enabled() {
+			t.Errorf("ParseFaults(%q) = %+v, want disabled zero value", spec, f)
+		}
+	}
+	for _, spec := range []string{"default", "on"} {
+		f, err := ParseFaults(spec)
+		if err != nil {
+			t.Fatalf("ParseFaults(%q): %v", spec, err)
+		}
+		if f != DefaultFaults() {
+			t.Errorf("ParseFaults(%q) = %+v, want defaults", spec, f)
+		}
+	}
+}
+
+func TestParseFaultsExplicit(t *testing.T) {
+	f, err := ParseFaults("tag=0.25, bus=1e-3 ,row=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TagFlip != 0.25 || f.BusError != 1e-3 || f.RowFail != 0 {
+		t.Errorf("parsed %+v", f)
+	}
+	// "default" as the first item overlays individual rates.
+	f, err = ParseFaults("default,row=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultFaults()
+	want.RowFail = 0.5
+	if f != want {
+		t.Errorf("default overlay: got %+v, want %+v", f, want)
+	}
+}
+
+func TestParseFaultsErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nope=1",        // unknown domain
+		"tag",           // not key=value
+		"tag=abc",       // not a number
+		"tag=1.5",       // outside [0, 1]
+		"tag=-0.1",      // negative
+		"tag=NaN",       // NaN must fail validation
+		"tag=1,default", // "default" only allowed first
+	} {
+		if _, err := ParseFaults(spec); err == nil {
+			t.Errorf("ParseFaults(%q) accepted invalid spec", spec)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	f := DefaultFaults()
+	back, err := ParseFaults(f.Spec())
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", f.Spec(), err)
+	}
+	// Spec carries every rate but not the seed.
+	f.Seed = 0
+	if back != f {
+		t.Errorf("round trip: %+v -> %q -> %+v", DefaultFaults(), f.Spec(), back)
+	}
+	var off Faults
+	if off.Spec() != "off" {
+		t.Errorf("disabled Spec() = %q, want off", off.Spec())
+	}
+}
+
+func TestScaledClampsAndSkipsEscape(t *testing.T) {
+	f := DefaultFaults()
+	up := f.Scaled(1e6)
+	for name, v := range map[string]float64{
+		"tag": up.TagFlip, "rcount": up.RCountFlip, "data": up.DataFlip,
+		"row": up.RowFail, "bus": up.BusError,
+	} {
+		if v != 1 {
+			t.Errorf("Scaled(1e6) %s = %v, want clamped to 1", name, v)
+		}
+	}
+	if up.TagEscape != f.TagEscape {
+		t.Error("Scaled touched the conditional escape probability")
+	}
+	down := f.Scaled(0)
+	if down.Enabled() {
+		t.Errorf("Scaled(0) still enabled: %+v", down)
+	}
+	if nan := f.Scaled(math.NaN()); nan.Validate() != nil {
+		t.Errorf("Scaled(NaN) produced an invalid config: %v", nan.Validate())
+	}
+}
+
+func TestValidateRejectsBadRates(t *testing.T) {
+	good := DefaultFaults()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.TagEscape = math.Inf(1)
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "tagescape") {
+		t.Errorf("Validate accepted +Inf escape rate (err %v)", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"redcache/internal/config"
 	"redcache/internal/engine"
+	"redcache/internal/fault"
 	"redcache/internal/mem"
 	"redcache/internal/stats"
 )
@@ -187,6 +188,9 @@ type Controller struct {
 	writeHook WriteHook
 	idleHook  IdleHook
 	observer  Observer
+	// inj injects row-activation failures and transient bus errors into
+	// the command schedule; nil (the default) costs one check per site.
+	inj *fault.Injector
 
 	// txnPool recycles Txn structs: a transaction's fields are dead once
 	// issue() returns (the completion callback is copied into the engine
@@ -321,6 +325,9 @@ type Observer func(t *Txn, rowHit bool, cycles int64)
 
 // SetObserver installs the per-transaction observer.
 func (c *Controller) SetObserver(o Observer) { c.observer = o }
+
+// SetFaultInjector installs the fault source (nil disables injection).
+func (c *Controller) SetFaultInjector(inj *fault.Injector) { c.inj = inj }
 
 // Interface exposes the traffic statistics this controller accumulates
 // (the RedCache α controller reads bus utilization from it).
@@ -624,6 +631,12 @@ func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
 		actAt := max(preAt+boolTo64(b.openRow >= 0)*tm.TRP,
 			b.rcReady, b.readyAt, rk.lastAct+tm.TRRD,
 			rk.actHist[rk.actIdx]+tm.TFAW)
+		if c.inj.RowActivate(t.Loc.Channel, t.Loc.Rank, t.Loc.Bank, t.Loc.Row) {
+			// The activation failed (detected by the die): retry after a
+			// fresh precharge-activate cycle, charging the extra command.
+			actAt += tm.TRP + tm.TRCD
+			c.iface.Activates++
+		}
 		b.actAt = actAt
 		b.rcReady = actAt + tm.TRC
 		b.openRow = t.Loc.Row
@@ -667,6 +680,12 @@ func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
 			burstCycles += busCycles(extra, tm.TBL)
 			c.iface.WriteBytes += int64(extra)
 		}
+	}
+	if c.inj.BusBurst(t.Loc.Channel, t.Bytes) {
+		// Link CRC caught a transient error: the whole burst (including
+		// any piggybacked bytes) is retransmitted, doubling its bus
+		// occupancy without moving extra payload.
+		burstCycles *= 2
 	}
 	dataEnd := dataStart + burstCycles
 

@@ -42,6 +42,10 @@ type Engine struct {
 	Fired uint64
 	// Limit, when nonzero, aborts Run after this many events.
 	Limit uint64
+	// periodicTicks counts currently-queued Periodic tick events, so a
+	// periodic can tell "only other periodics remain" apart from "real
+	// work is still pending" when deciding whether to auto-stop.
+	periodicTicks int
 }
 
 // New returns an empty engine at cycle 0.
@@ -232,6 +236,14 @@ func (e *Engine) Step() bool {
 // executes, so the panic triggers at exactly Limit fired events (a run
 // that completes in exactly Limit events does not panic).
 //
+// Once only Periodic ticks remain queued, the clock freezes: each
+// trailing tick fires observing the time of the last real event rather
+// than dragging the clock up to one partial period past it.  This is
+// what makes periodic instrumentation observationally free — the
+// engine ends a run at the same cycle with or without periodics, so
+// anything the caller does at Now() afterwards (e.g. the writeback
+// drain) is unperturbed.
+//
 //redvet:hotpath
 func (e *Engine) Run() int64 {
 	for len(e.events) > 0 {
@@ -239,11 +251,48 @@ func (e *Engine) Run() int64 {
 			panic("engine: event limit exceeded (likely a scheduling loop)")
 		}
 		ev := e.pop()
-		e.now = ev.at
+		if len(e.events) < e.periodicTicks {
+			// This pop took a trailing periodic tick (pre-pop the queue
+			// held nothing but ticks): fire it at the frozen clock.
+			ev.at = e.now
+		} else {
+			e.now = ev.at
+		}
 		e.Fired++
 		e.fire(&ev)
 	}
 	return e.now
+}
+
+// RunWithin executes events until the queue drains or the earliest
+// queued event would fire after deadline, reporting whether the queue
+// drained.  Unlike RunUntil the clock is left at the last fired event,
+// never forced to the deadline — a run that finishes inside its budget
+// is indistinguishable from an unbounded Run, which is what makes a
+// generous watchdog budget observationally free.  Limit applies as in
+// Run: it is the backstop for same-cycle scheduling loops, which never
+// advance past the deadline on their own.
+//
+//redvet:hotpath
+func (e *Engine) RunWithin(deadline int64) bool {
+	for len(e.events) > 0 {
+		if e.events[0].at > deadline {
+			return false
+		}
+		if e.Limit != 0 && e.Fired >= e.Limit {
+			panic("engine: event limit exceeded (likely a scheduling loop)")
+		}
+		ev := e.pop()
+		if len(e.events) < e.periodicTicks {
+			// Trailing periodic tick: frozen clock, as in Run.
+			ev.at = e.now
+		} else {
+			e.now = ev.at
+		}
+		e.Fired++
+		e.fire(&ev)
+	}
+	return true
 }
 
 // RunUntil executes events with firing time <= deadline, advancing the

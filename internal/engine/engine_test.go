@@ -95,6 +95,55 @@ func TestRunUntilAdvancesClock(t *testing.T) {
 	}
 }
 
+// TestRunWithinStopsBeforeDeadlineEvent: a bounded run must fire
+// everything inside the deadline, leave later events queued, and keep
+// the clock at the last fired event instead of forcing it forward —
+// the property that makes a generous watchdog budget observationally
+// free to the rest of the simulation.
+func TestRunWithinStopsBeforeDeadlineEvent(t *testing.T) {
+	e := New()
+	var fired []int64
+	note := func(now int64) { fired = append(fired, now) }
+	for _, at := range []int64{5, 12, 50} {
+		e.ScheduleTimed(at, note)
+	}
+	if e.RunWithin(20) {
+		t.Error("RunWithin reported a drained queue with an event at 50 pending")
+	}
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 12 {
+		t.Errorf("fired at %v, want [5 12]", fired)
+	}
+	if e.Now() != 12 {
+		t.Errorf("Now() = %d, want 12 (clock must not jump to the deadline)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
+	if !e.RunWithin(50) {
+		t.Error("RunWithin(50) should drain the queue")
+	}
+	if e.Now() != 50 {
+		t.Errorf("Now() = %d, want 50", e.Now())
+	}
+}
+
+// TestRunWithinHonorsLimit: the event-count backstop still applies, so
+// a same-cycle scheduling loop (which never advances past the deadline)
+// aborts instead of spinning.
+func TestRunWithinHonorsLimit(t *testing.T) {
+	e := New()
+	e.Limit = 10
+	var chain func()
+	chain = func() { e.Schedule(e.Now(), chain) }
+	e.Schedule(0, chain)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on event limit")
+		}
+	}()
+	e.RunWithin(100)
+}
+
 func TestStepReturnsFalseWhenEmpty(t *testing.T) {
 	e := New()
 	if e.Step() {

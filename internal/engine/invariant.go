@@ -1,0 +1,28 @@
+package engine
+
+import "fmt"
+
+// CheckHeap validates the event queue's structural invariants: the
+// 4-ary heap order over (at, seq) and that no queued event is scheduled
+// before the current cycle.  It is the engine leg of the opt-in online
+// invariant checker; O(n) over the queue, never called on the
+// steady-state path.
+func (e *Engine) CheckHeap() error {
+	h := e.events
+	if len(h) > 0 && h[0].at < e.now {
+		return fmt.Errorf("engine: earliest queued event at cycle %d is in the past (now %d)",
+			h[0].at, e.now)
+	}
+	for i := 1; i < len(h); i++ {
+		p := (i - 1) >> 2
+		if before(h[i].at, h[i].seq, h[p].at, h[p].seq) {
+			return fmt.Errorf("engine: heap order violated at index %d: (%d, %d) sorts before parent %d's (%d, %d)",
+				i, h[i].at, h[i].seq, p, h[p].at, h[p].seq)
+		}
+		if h[i].seq > e.seq {
+			return fmt.Errorf("engine: event %d carries sequence %d beyond the allocator's %d",
+				i, h[i].seq, e.seq)
+		}
+	}
+	return nil
+}

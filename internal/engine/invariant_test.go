@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckHeapCleanQueue(t *testing.T) {
+	e := New()
+	for i := int64(50); i > 0; i-- {
+		e.Schedule(i*3, func() {})
+	}
+	if err := e.CheckHeap(); err != nil {
+		t.Fatalf("fresh queue: %v", err)
+	}
+	for i := 0; i < 25; i++ {
+		e.Step()
+		if err := e.CheckHeap(); err != nil {
+			t.Fatalf("after step %d: %v", i, err)
+		}
+	}
+}
+
+func TestCheckHeapDetectsCorruption(t *testing.T) {
+	e := New()
+	for i := int64(1); i <= 20; i++ {
+		e.Schedule(i*10, func() {})
+	}
+	// Corrupt a leaf so it sorts before its parent.
+	e.events[7].at = -5
+	err := e.CheckHeap()
+	if err == nil {
+		t.Fatal("corrupted heap passed CheckHeap")
+	}
+	if !strings.Contains(err.Error(), "heap order violated") &&
+		!strings.Contains(err.Error(), "in the past") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCheckHeapDetectsStaleClock(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {})
+	e.now = 50
+	if err := e.CheckHeap(); err == nil {
+		t.Fatal("past-scheduled event passed CheckHeap")
+	}
+}

@@ -14,16 +14,21 @@ type Periodic struct {
 
 // SchedulePeriodic arranges for fn to run every period cycles, first
 // firing period cycles from now.  The callback auto-stops once it fires
-// with an otherwise-empty queue: Run drains the queue to completion, so
-// an unconditional reschedule would keep the simulation alive forever.
-// The final partial period is therefore never observed by fn — callers
-// that need end-of-run state flush it explicitly after Run returns.
+// with no pending work besides other periodics' ticks: Run drains the
+// queue to completion, so an unconditional reschedule would keep the
+// simulation alive forever — and two periodics deciding on raw queue
+// emptiness would sustain each other's ticks in an endless mutual
+// livelock.  That trailing tick fires at the frozen clock of the last
+// real event (see Run), so fn never observes — and the engine never
+// reports — a time past the end of real work; callers that need true
+// end-of-run state flush it explicitly after Run returns.
 func (e *Engine) SchedulePeriodic(period int64, fn func(now int64)) *Periodic {
 	if period <= 0 {
 		panic("engine: periodic period must be positive")
 	}
 	p := &Periodic{e: e, period: period, fn: fn}
 	p.tick = p.run
+	e.periodicTicks++
 	e.ScheduleTimed(e.now+period, p.tick)
 	return p
 }
@@ -33,14 +38,21 @@ func (e *Engine) SchedulePeriodic(period int64, fn func(now int64)) *Periodic {
 //
 //redvet:hotpath
 func (p *Periodic) run(now int64) {
+	// This tick just popped off the queue; it no longer counts toward
+	// the queued periodic ticks regardless of what happens below.
+	p.e.periodicTicks--
 	if p.stopped {
 		return
 	}
 	p.fn(now)
-	if p.e.Pending() == 0 {
+	if p.e.Pending() == p.e.periodicTicks {
+		// Everything still queued is other periodics' ticks: no real
+		// work remains, so stop instead of keeping the run alive.  The
+		// remaining periodics reach this same conclusion as they fire.
 		p.stopped = true
 		return
 	}
+	p.e.periodicTicks++
 	p.e.ScheduleTimed(now+p.period, p.tick)
 }
 

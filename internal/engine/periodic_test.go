@@ -11,14 +11,16 @@ func TestPeriodicFiresEveryPeriod(t *testing.T) {
 	p := e.SchedulePeriodic(10, func(now int64) { fired = append(fired, now) })
 
 	// Keep the queue busy through cycle 35 so the periodic survives
-	// three ticks; the tick at 40 sees an empty queue and auto-stops.
+	// three ticks; the tick queued for 40 is then the only event left,
+	// so it fires at the frozen clock (35, the last real event) and
+	// auto-stops without dragging the run past the end of real work.
 	noop := func() {}
 	for at := int64(1); at <= 35; at += 2 {
 		e.Schedule(at, noop)
 	}
 	e.Run()
 
-	want := []int64{10, 20, 30, 40}
+	want := []int64{10, 20, 30, 35}
 	if !reflect.DeepEqual(fired, want) {
 		t.Fatalf("fired at %v, want %v", fired, want)
 	}
@@ -27,6 +29,9 @@ func TestPeriodicFiresEveryPeriod(t *testing.T) {
 	}
 	if e.Pending() != 0 {
 		t.Fatalf("queue not drained: %d pending", e.Pending())
+	}
+	if e.Now() != 35 {
+		t.Fatalf("Now() = %d, want 35: trailing ticks must not advance the clock", e.Now())
 	}
 }
 
@@ -59,6 +64,47 @@ func TestPeriodicStop(t *testing.T) {
 	e.Run()
 	if ticks != 2 {
 		t.Fatalf("ticks = %d, want 2 (stopped after the tick at 20)", ticks)
+	}
+}
+
+// TestConcurrentPeriodicsTerminate is the regression net for a mutual
+// livelock: with queue-emptiness as the only auto-stop signal, each of
+// two periodics sees the other's queued tick and reschedules forever.
+// They must instead recognize "only periodic ticks remain" and let the
+// run drain — at staggered periods, aligned periods, and in a stack of
+// several.
+func TestConcurrentPeriodicsTerminate(t *testing.T) {
+	for _, periods := range [][]int64{
+		{10, 25},         // staggered
+		{10, 10},         // same period, same cycle
+		{7, 11, 13, 700}, // a stack, one mostly idle
+	} {
+		e := New()
+		ticks := make([]int, len(periods))
+		ps := make([]*Periodic, len(periods))
+		for i, period := range periods {
+			i := i
+			ps[i] = e.SchedulePeriodic(period, func(int64) { ticks[i]++ })
+		}
+		noop := func() {}
+		for at := int64(1); at <= 95; at += 2 {
+			e.Schedule(at, noop)
+		}
+		// A pure event-count bound (not the test timeout) catches the
+		// livelock deterministically.
+		e.Limit = 10000
+		e.Run()
+		for i, p := range ps {
+			if !p.Stopped() {
+				t.Errorf("periods %v: periodic %d still live after drain", periods, i)
+			}
+			if ticks[i] == 0 {
+				t.Errorf("periods %v: periodic %d never ticked", periods, i)
+			}
+		}
+		if e.Pending() != 0 {
+			t.Errorf("periods %v: queue not drained, %d pending", periods, e.Pending())
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"redcache/internal/config"
 	"redcache/internal/hbm"
 	"redcache/internal/workloads"
 )
@@ -79,6 +80,81 @@ func TestReportBytesDeterministic(t *testing.T) {
 	if !bytes.Equal(parallel, repeat) {
 		t.Fatalf("report bytes differ across repeated parallel runs:\n--- first ---\n%s\n--- repeat ---\n%s",
 			parallel, repeat)
+	}
+}
+
+// faultedTinySuite is tinySuite with aggressive fault injection and the
+// online invariant checker turned on for every run.
+func faultedTinySuite() *Suite {
+	s := tinySuite()
+	f := config.DefaultFaults().Scaled(20)
+	f.Seed = 5
+	s.Faults = &f
+	s.InvariantCycles = 25000
+	return s
+}
+
+// TestFaultedReportBytesDeterministic extends the harness determinism
+// property to fault injection: with a fixed (workload seed, fault seed)
+// pair, the full figure pipeline — including runs whose draws interleave
+// with degradation paths — emits byte-identical reports whether the
+// suite executes serially under GOMAXPROCS=1, with a parallel worker
+// fan-out, or again from scratch.  Each simulation owns one injector
+// and the engine is single-threaded, so worker scheduling must not be
+// able to reorder fault draws.
+func TestFaultedReportBytesDeterministic(t *testing.T) {
+	serial := func() []byte {
+		prev := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(prev)
+		s := faultedTinySuite()
+		s.Parallel = 1
+		return renderReports(t, s)
+	}()
+
+	parallel := func() []byte {
+		s := faultedTinySuite()
+		s.Parallel = 8
+		return renderReports(t, s)
+	}()
+
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("faulted report bytes differ between GOMAXPROCS=1/serial and parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+
+	repeat := renderReports(t, faultedTinySuite())
+	if !bytes.Equal(parallel, repeat) {
+		t.Fatalf("faulted report bytes differ across repeated parallel runs:\n--- first ---\n%s\n--- repeat ---\n%s",
+			parallel, repeat)
+	}
+
+	// The injection must actually have fired: a faulted pipeline that
+	// happens to match the fault-free bytes would make this test vacuous.
+	clean := renderReports(t, tinySuite())
+	if bytes.Equal(parallel, clean) {
+		t.Error("fault-injected pipeline emitted the exact fault-free report; injection appears inert")
+	}
+}
+
+// TestFaultSweepDeterministic pins the sweep figure itself: same base
+// rates and seed, same points.
+func TestFaultSweepDeterministic(t *testing.T) {
+	run := func() string {
+		s := tinySuite()
+		base := config.DefaultFaults().Scaled(10)
+		base.Seed = 3
+		pts, err := s.FaultSweep("LU", hbm.ArchRedCache, base, []float64{1, 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FaultSweepCSV(pts)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fault sweep diverged across runs:\n%s\n---\n%s", a, b)
+	}
+	if !bytes.Contains([]byte(a), []byte("detected")) {
+		t.Fatalf("sweep CSV missing header: %s", a)
 	}
 }
 

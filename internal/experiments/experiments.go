@@ -33,6 +33,14 @@ type Suite struct {
 	Workloads []string
 	// Progress, when set, receives a line per completed run.
 	Progress func(msg string)
+	// Faults, when non-nil, enables deterministic fault injection on
+	// every run in the suite; the figure pipeline stays byte-identical
+	// across serial/parallel execution because each run's draws depend
+	// only on (workload seed, fault seed).
+	Faults *config.Faults
+	// InvariantCycles, when > 0, runs the online invariant checker at
+	// this period in every simulation.
+	InvariantCycles int64
 
 	mu      sync.Mutex
 	traces  map[string]*trace.Trace
@@ -104,7 +112,7 @@ func (s *Suite) resultG(label string, arch hbm.Arch, gran int) (*sim.Result, err
 	}
 	cfg := *s.Sys // shallow copy; granularity differs per run
 	cfg.Granularity = gran
-	res, err := sim.Run(&cfg, arch, t, nil)
+	res, err := sim.Run(&cfg, arch, t, s.runOpts())
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", label, arch, err)
 	}
@@ -122,6 +130,16 @@ func (s *Suite) resultG(label string, arch hbm.Arch, gran int) (*sim.Result, err
 		s.Progress(fmt.Sprintf("done %s/%s (gran %dB): %d cycles", label, arch, gran, res.Cycles))
 	}
 	return res, nil
+}
+
+// runOpts builds the per-run options from the suite-wide fault and
+// invariant settings; nil when neither is set so the memoized figure
+// runs keep their exact fault-free fast path.
+func (s *Suite) runOpts() *sim.Options {
+	if s.Faults == nil && s.InvariantCycles <= 0 {
+		return nil
+	}
+	return &sim.Options{Faults: s.Faults, InvariantCycles: s.InvariantCycles}
 }
 
 // runAll executes the given runs, bounded by s.Parallel workers, and
@@ -375,6 +393,8 @@ func (s *Suite) Fig3(labels []string) ([]Fig3Result, error) {
 		}
 		hist := stats.NewReuseHistogram()
 		opts := &sim.Options{
+			Faults:          s.Faults,
+			InvariantCycles: s.InvariantCycles,
 			DDRObserver: func(txn *dram.Txn, rowHit bool, cycles int64) {
 				// Deliberate cross-component attribution: the Fig 3
 				// harness charges exact DDR bus cycles to its own

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"redcache/internal/config"
+	"redcache/internal/hbm"
+	"redcache/internal/sim"
+)
+
+// FaultSweepPoint is one rate multiplier of the fault sweep: the
+// detected-vs-silent split of the injected faults and the performance
+// cost of the degradation paths, normalized to the fault-free run.
+type FaultSweepPoint struct {
+	Multiplier float64
+	// Detected counts faults the hardware model can observe (parity
+	// tag hits, row failures, bus errors); Silent counts corruptions in
+	// the no-ECC region that pass through unobserved.
+	Detected int64
+	Silent   int64
+	// Per-domain breakdown.
+	TagDetected, TagSilent, DirtyDropped int64
+	RCount, Data, Row, Bus               int64
+	// RelTime is cycles relative to the fault-free run of the same
+	// (workload, arch) pair — the cost of conservative misses, r-count
+	// resets, and re-activations.
+	RelTime float64
+}
+
+// DefaultSweepMultipliers spans four decades around the default rates.
+var DefaultSweepMultipliers = []float64{0.1, 1, 10, 100}
+
+// FaultSweep runs one (workload, arch) pair across fault-rate
+// multipliers of the base configuration.  Each point simulates directly
+// (no memoization — the sweep deliberately varies what the figure cache
+// keys don't) with base scaled by the multiplier; occurrence rates are
+// clamped to [0, 1] by Scaled.  The fault seed is held fixed so points
+// differ only by rate.
+func (s *Suite) FaultSweep(label string, arch hbm.Arch, base config.Faults,
+	multipliers []float64) ([]FaultSweepPoint, error) {
+	t, err := s.traceFor(label)
+	if err != nil {
+		return nil, err
+	}
+	cfg := *s.Sys
+	clean, err := sim.Run(&cfg, arch, t, nil)
+	if err != nil {
+		return nil, fmt.Errorf("faultsweep %s/%s baseline: %w", label, arch, err)
+	}
+	out := make([]FaultSweepPoint, 0, len(multipliers))
+	for _, m := range multipliers {
+		f := base.Scaled(m)
+		res, err := sim.Run(&cfg, arch, t, &sim.Options{
+			Faults:          &f,
+			InvariantCycles: s.InvariantCycles,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("faultsweep %s/%s x%g: %w", label, arch, m, err)
+		}
+		p := FaultSweepPoint{
+			Multiplier: m,
+			RelTime:    float64(res.Cycles) / float64(clean.Cycles),
+		}
+		if fs := res.FaultStats; fs != nil {
+			p.Detected, p.Silent = fs.Detected(), fs.Silent()
+			p.TagDetected, p.TagSilent, p.DirtyDropped = fs.TagDetected, fs.TagSilent, fs.DirtyDropped
+			p.RCount, p.Data, p.Row, p.Bus = fs.RCountFaults, fs.SilentData, fs.RowFaults, fs.BusFaults
+		}
+		out = append(out, p)
+		if s.Progress != nil {
+			s.Progress(fmt.Sprintf("faultsweep %s/%s x%g: %d detected, %d silent",
+				label, arch, m, p.Detected, p.Silent))
+		}
+	}
+	return out, nil
+}
+
+// FaultSweepCSV renders sweep points in a fixed column order.
+func FaultSweepCSV(pts []FaultSweepPoint) string {
+	var b strings.Builder
+	b.WriteString("multiplier,detected,silent,tag_detected,tag_silent,dirty_dropped,rcount,data,row,bus,rel_time\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f\n",
+			p.Multiplier, p.Detected, p.Silent,
+			p.TagDetected, p.TagSilent, p.DirtyDropped,
+			p.RCount, p.Data, p.Row, p.Bus, p.RelTime)
+	}
+	return b.String()
+}

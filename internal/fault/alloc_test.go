@@ -1,0 +1,35 @@
+package fault
+
+import (
+	"testing"
+
+	"redcache/internal/config"
+	"redcache/internal/obs"
+)
+
+// TestQueriesAllocationFree pins the hot-path contract: every injector
+// query is allocation-free whether or not faults fire, with and without
+// a tracer attached, and on the nil injector.
+func TestQueriesAllocationFree(t *testing.T) {
+	check := func(name string, inj *Injector) {
+		t.Helper()
+		var i uint64
+		got := testing.AllocsPerRun(2000, func() {
+			inj.TagProbe(i, i&1 == 0)
+			inj.ReadRCount(i, uint8(i))
+			inj.DataRead(i)
+			inj.RowActivate(int(i&3), 0, int(i&7), int64(i))
+			inj.BusBurst(int(i&3), 64)
+			i++
+		})
+		if got != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, got)
+		}
+	}
+	check("nil", nil)
+	check("enabled", New(allOn()))
+	traced := New(allOn())
+	traced.SetTracer(obs.NewTracer(1024, func() int64 { return 0 }))
+	check("enabled+tracer", traced)
+	check("rare", New(config.Faults{Seed: 5, TagFlip: 1e-6, RowFail: 1e-6}))
+}

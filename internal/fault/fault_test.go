@@ -1,0 +1,195 @@
+package fault
+
+import (
+	"testing"
+
+	"redcache/internal/config"
+	"redcache/internal/obs"
+)
+
+func allOn() config.Faults {
+	return config.Faults{Seed: 7, TagFlip: 0.5, TagEscape: 0.5,
+		RCountFlip: 0.5, DataFlip: 0.5, RowFail: 0.5, BusError: 0.5}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if inj != New(config.Faults{}) {
+		t.Fatal("disabled config should build a nil injector")
+	}
+	if got := inj.TagProbe(1, true); got != TagOK {
+		t.Fatalf("nil TagProbe = %v, want TagOK", got)
+	}
+	if got := inj.ReadRCount(1, 42); got != 42 {
+		t.Fatalf("nil ReadRCount = %d, want passthrough 42", got)
+	}
+	inj.DataRead(1)
+	if inj.RowActivate(0, 0, 0, 0) || inj.BusBurst(0, 64) {
+		t.Fatal("nil injector fired a fault")
+	}
+	if *inj.Stats() != (Stats{}) {
+		t.Fatal("nil injector stats not zero")
+	}
+	inj.SetTracer(nil)
+	inj.RegisterProbes(nil)
+}
+
+func TestRateExtremes(t *testing.T) {
+	always := New(config.Faults{Seed: 1, RowFail: 1})
+	for i := 0; i < 100; i++ {
+		if !always.RowActivate(0, 0, 0, int64(i)) {
+			t.Fatal("rate-1 domain did not fire")
+		}
+	}
+	// TagFlip enables the injector, but the row domain's rate is zero.
+	never := New(config.Faults{Seed: 1, TagFlip: 0.5})
+	for i := 0; i < 100; i++ {
+		if never.RowActivate(0, 0, 0, int64(i)) {
+			t.Fatal("rate-0 domain fired")
+		}
+	}
+}
+
+// drawPattern records which of n TagProbe calls fired, as a bitmap.
+func drawPattern(inj *Injector, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = inj.TagProbe(uint64(i), false) != TagOK
+	}
+	return out
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	a := drawPattern(New(allOn()), 1000)
+	b := drawPattern(New(allOn()), 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs for identical seeds", i)
+		}
+	}
+	other := allOn()
+	other.Seed = 8
+	c := drawPattern(New(other), 1000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical draw pattern")
+	}
+}
+
+// TestDomainIndependence pins the per-domain stream contract: changing
+// one domain's rate (even to zero) must not perturb another domain's
+// draw sequence.
+func TestDomainIndependence(t *testing.T) {
+	cfg := allOn()
+	withBus := New(cfg)
+	cfg.BusError = 0
+	noBus := New(cfg)
+	for i := 0; i < 1000; i++ {
+		a := withBus.TagProbe(uint64(i), false)
+		// Interleave bus draws on one injector only.
+		withBus.BusBurst(0, 64)
+		if b := noBus.TagProbe(uint64(i), false); a != b {
+			t.Fatalf("tag draw %d changed when the bus domain was disabled", i)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	inj := New(allOn())
+	const n = 4096
+	var detected, silent, dirty int64
+	for i := 0; i < n; i++ {
+		switch inj.TagProbe(uint64(i), i%2 == 0) {
+		case TagDetected:
+			detected++
+			if i%2 == 0 {
+				dirty++
+			}
+		case TagSilent:
+			silent++
+		}
+	}
+	s := inj.Stats()
+	if s.TagFaults != detected+silent {
+		t.Errorf("TagFaults = %d, want detected+silent = %d", s.TagFaults, detected+silent)
+	}
+	if s.TagDetected != detected || s.TagSilent != silent || s.DirtyDropped != dirty {
+		t.Errorf("tag stats %+v disagree with observed (det=%d sil=%d dirty=%d)",
+			s, detected, silent, dirty)
+	}
+	if detected == 0 || silent == 0 {
+		t.Errorf("0.5/0.5 rates over %d probes should exercise both outcomes (det=%d sil=%d)",
+			n, detected, silent)
+	}
+	if s.Detected() != s.TagDetected || s.Silent() != s.TagSilent+s.SilentData {
+		t.Errorf("Detected/Silent rollups inconsistent: %+v", s)
+	}
+
+	for i := 0; i < n; i++ {
+		inj.DataRead(uint64(i))
+		inj.ReadRCount(uint64(i), uint8(i))
+		inj.RowActivate(0, 0, 0, int64(i))
+		inj.BusBurst(0, 64)
+	}
+	if s.SilentData == 0 || s.RCountFaults == 0 || s.RowFaults == 0 || s.BusFaults == 0 {
+		t.Errorf("0.5 rates over %d draws left a domain at zero: %+v", n, s)
+	}
+}
+
+func TestReadRCountClampsToZero(t *testing.T) {
+	inj := New(config.Faults{Seed: 3, RCountFlip: 1})
+	if got := inj.ReadRCount(0, 200); got != 0 {
+		t.Fatalf("corrupted r-count = %d, want clamp to 0", got)
+	}
+	if inj.Stats().RCountFaults != 1 {
+		t.Fatalf("RCountFaults = %d, want 1", inj.Stats().RCountFaults)
+	}
+}
+
+func TestTracerEmission(t *testing.T) {
+	inj := New(config.Faults{Seed: 3, RowFail: 1, BusError: 1})
+	tr := obs.NewTracer(16, func() int64 { return 42 })
+	inj.SetTracer(tr)
+	inj.RowActivate(1, 0, 2, 77)
+	inj.BusBurst(3, 128)
+	if tr.Len() != 2 {
+		t.Fatalf("tracer retained %d events, want 2", tr.Len())
+	}
+	if ev := tr.At(0); ev.Kind != obs.EvFaultRow || ev.A != 77 {
+		t.Errorf("row event = %+v", ev)
+	}
+	if ev := tr.At(1); ev.Kind != obs.EvFaultBus || ev.Addr != 3 || ev.A != 128 {
+		t.Errorf("bus event = %+v", ev)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	cases := []struct {
+		rate float64
+		want uint64
+	}{
+		{0, 0}, {-1, 0}, {1, ^uint64(0)}, {2, ^uint64(0)},
+		{0.5, 1 << 63},
+	}
+	for _, c := range cases {
+		if got := threshold(c.rate); got != c.want {
+			t.Errorf("threshold(%v) = %#x, want %#x", c.rate, got, c.want)
+		}
+	}
+	// Observed frequency tracks the rate within sampling noise.
+	inj := New(config.Faults{Seed: 11, DataFlip: 0.25})
+	const n = 1 << 16
+	before := inj.Stats().SilentData
+	for i := 0; i < n; i++ {
+		inj.DataRead(uint64(i))
+	}
+	got := float64(inj.Stats().SilentData-before) / n
+	if got < 0.23 || got > 0.27 {
+		t.Errorf("empirical rate %.4f too far from 0.25", got)
+	}
+}

@@ -38,7 +38,7 @@ func (c *alloy) Submit(req *mem.Request) {
 }
 
 func (c *alloy) handleRead(req *mem.Request) {
-	e, hit := c.tags.lookup(req.Addr)
+	e, hit := c.lookupFaulty(req.Addr)
 	c.s.TagProbes++
 	g := c.tags.granularity()
 	if hit {
@@ -46,6 +46,7 @@ func (c *alloy) handleRead(req *mem.Request) {
 		e.rcount = satInc(e.rcount)
 		e.lastWrite = false
 		c.d.hbm.Read(req.Addr, mem.BlockSize, req.TakeDone())
+		c.inj.DataRead(uint64(req.Addr)) // TADs trade ECC for tags here too
 		return
 	}
 	c.s.Demand.Misses++
@@ -65,7 +66,7 @@ func (c *alloy) handleRead(req *mem.Request) {
 }
 
 func (c *alloy) handleWrite(req *mem.Request) {
-	e, hit := c.tags.lookup(req.Addr)
+	e, hit := c.lookupFaulty(req.Addr)
 	c.s.TagProbes++
 	c.d.hbm.Read(req.Addr, mem.BlockSize, nil) // probe
 	if hit {

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"redcache/internal/engine"
+	"redcache/internal/hbm"
+)
+
+// Error is a structured simulation failure: which guard tripped, plus
+// the engine state at the moment it did, so a stuck or corrupted run
+// reports *where* it was instead of hanging or dumping a bare panic.
+type Error struct {
+	// Op names the guard: "watchdog" (cycle/event budget exhausted),
+	// "invariant" (the online invariant checker found corrupted state),
+	// "deadlock" (the event queue drained before all cores retired), or
+	// "panic" (an unexpected panic in the run loop).
+	Op       string
+	Workload string
+	Arch     hbm.Arch
+	// Engine state when the guard fired.
+	Cycle   int64
+	Fired   uint64
+	Pending int
+	// Err carries the underlying cause.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("sim: %s/%s %s at cycle %d (%d events fired, %d pending): %v",
+		e.Workload, e.Arch, e.Op, e.Cycle, e.Fired, e.Pending, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// watchdogAbort is the panic sentinel the cycle-budget watchdog throws;
+// the run loop's recovery converts it into an *Error.
+type watchdogAbort struct{ budget int64 }
+
+// invariantViolation is the panic sentinel the online invariant checker
+// throws when a check fails mid-run.
+type invariantViolation struct{ err error }
+
+// engineLimitPanic is the message engine.Run panics with when the event
+// budget is exhausted — the event-count face of the watchdog.
+const engineLimitPanic = "engine: event limit exceeded (likely a scheduling loop)"
+
+// asError converts a recovered panic value into a structured *Error
+// carrying the engine state.  Unexpected panics keep their stack trace.
+func asError(r any, eng *engine.Engine, workload string, arch hbm.Arch) *Error {
+	e := &Error{Workload: workload, Arch: arch,
+		Cycle: eng.Now(), Fired: eng.Fired, Pending: eng.Pending()}
+	switch v := r.(type) {
+	case watchdogAbort:
+		e.Op = "watchdog"
+		e.Err = fmt.Errorf("cycle budget %d exhausted before all cores retired", v.budget)
+	case invariantViolation:
+		e.Op = "invariant"
+		e.Err = v.err
+	default:
+		if s, ok := r.(string); ok && s == engineLimitPanic {
+			e.Op = "watchdog"
+			e.Err = errors.New(s)
+			return e
+		}
+		e.Op = "panic"
+		e.Err = fmt.Errorf("%v\n%s", r, debug.Stack())
+	}
+	return e
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"redcache/internal/config"
+	"redcache/internal/dram"
+	"redcache/internal/hbm"
+	"redcache/internal/obs"
+	"redcache/internal/workloads"
+)
+
+func faultOpts(seed int64) *Options {
+	f := config.DefaultFaults()
+	f.Seed = seed
+	return &Options{Faults: &f}
+}
+
+// TestFaultDeterminism: a fixed (workload seed, fault seed) pair must
+// reproduce bit-identical results, and a different fault seed must not.
+func TestFaultDeterminism(t *testing.T) {
+	cfg := config.Tiny()
+	tr := workloads.LU(cfg.CPU.Cores, workloads.Tiny, 3)
+	for _, arch := range []hbm.Arch{hbm.ArchAlloy, hbm.ArchRedCache} {
+		a, err := Run(cfg, arch, tr, faultOpts(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(cfg, arch, tr, faultOpts(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cycles != b.Cycles || a.Ctl != b.Ctl ||
+			a.HBMIface != b.HBMIface || a.DDRIface != b.DDRIface ||
+			*a.FaultStats != *b.FaultStats {
+			t.Errorf("%s: repeated (seed, faultseed) runs diverged", arch)
+		}
+		c, err := Run(cfg, arch, tr, faultOpts(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *a.FaultStats == *c.FaultStats && a.Cycles == c.Cycles {
+			t.Errorf("%s: fault seed had no effect: %+v", arch, a.FaultStats)
+		}
+	}
+}
+
+// TestFaultStatsPopulated: default rates over a whole run must exercise
+// detected and silent domains, and fault-free runs must carry none.
+func TestFaultStatsPopulated(t *testing.T) {
+	cfg := config.Tiny()
+	tr := workloads.LU(cfg.CPU.Cores, workloads.Tiny, 3)
+	res, err := Run(cfg, hbm.ArchRedCache, tr, faultOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res.FaultStats
+	if fs == nil {
+		t.Fatal("faulted run returned nil FaultStats")
+	}
+	if fs.Detected() == 0 {
+		t.Errorf("default rates produced no detected faults: %+v", fs)
+	}
+	if fs.TagFaults != fs.TagDetected+fs.TagSilent {
+		t.Errorf("tag fault accounting inconsistent: %+v", fs)
+	}
+
+	clean, err := Run(cfg, hbm.ArchRedCache, tr, &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.FaultStats != nil {
+		t.Error("fault-free run reported FaultStats")
+	}
+	disabled, err := Run(cfg, hbm.ArchRedCache, tr, &Options{Faults: &config.Faults{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disabled.FaultStats != nil {
+		t.Error("disabled fault config built an injector")
+	}
+	if clean.Cycles != disabled.Cycles || clean.Ctl != disabled.Ctl {
+		t.Error("a disabled fault config perturbed the simulation")
+	}
+}
+
+// TestFaultAccountingInvariants: the controller-level conservation laws
+// must survive injection — faults degrade requests, never lose them.
+func TestFaultAccountingInvariants(t *testing.T) {
+	cfg := config.Tiny()
+	tr := workloads.MG(cfg.CPU.Cores, workloads.Tiny, 1)
+	aggressive := config.DefaultFaults().Scaled(50)
+	aggressive.Seed = 9
+	for _, arch := range hbm.All() {
+		res, err := Run(cfg, arch, tr, &Options{Faults: &aggressive, InvariantCycles: 50000})
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		total := res.Ctl.Reads + res.Ctl.Writes
+		covered := res.Ctl.Demand.Accesses() + res.Ctl.DirectToMem
+		if covered != total {
+			t.Errorf("%s: hits+misses+direct = %d, requests = %d under faults", arch, covered, total)
+		}
+		if res.InvariantChecks == 0 {
+			t.Errorf("%s: invariant checker never ran", arch)
+		}
+	}
+}
+
+// TestInvariantCheckerDoesNotPerturb: a clean run with the checker on
+// must report the exact counters of a run without it.
+func TestInvariantCheckerDoesNotPerturb(t *testing.T) {
+	cfg := config.Tiny()
+	tr := workloads.LU(cfg.CPU.Cores, workloads.Tiny, 3)
+	plain, err := Run(cfg, hbm.ArchRedCache, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := Run(cfg, hbm.ArchRedCache, tr, &Options{InvariantCycles: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != checked.Cycles || plain.Ctl != checked.Ctl ||
+		plain.HBMIface != checked.HBMIface || plain.DDRIface != checked.DDRIface {
+		t.Error("invariant checker perturbed simulation results")
+	}
+	if checked.InvariantChecks == 0 {
+		t.Error("invariant checker reported zero sweeps")
+	}
+	// The checker's own events inflate EventsFired; everything the paper
+	// reports must stay identical.
+	if plain.Instructions != checked.Instructions || plain.L3 != checked.L3 {
+		t.Error("invariant checker perturbed CPU-side results")
+	}
+}
+
+// TestTelemetryPlusInvariantsTerminates: two periodic engine callbacks
+// in one run (the telemetry sampler and the invariant sweep) must not
+// keep each other's ticks alive after the cores retire — the mutual-
+// livelock regression behind engine.Periodic's auto-stop rule — and
+// must not perturb the reported counters.
+func TestTelemetryPlusInvariantsTerminates(t *testing.T) {
+	cfg := config.Tiny()
+	tr := workloads.LU(cfg.CPU.Cores, workloads.Tiny, 3)
+	plain, err := Run(cfg, hbm.ArchRedCache, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Run(cfg, hbm.ArchRedCache, tr, &Options{
+		InvariantCycles: 7000,
+		Telemetry:       &obs.Options{EpochCycles: 11000},
+		// A generous cycle budget turns a livelock regression into a
+		// fast structured failure instead of a test timeout; per the
+		// watchdog contract it must not perturb anything below.
+		MaxCycles: plain.Cycles * 100,
+	})
+	if err != nil {
+		t.Fatalf("telemetry+invariants run aborted: %v", err)
+	}
+	if both.Cycles != plain.Cycles || both.Ctl != plain.Ctl ||
+		both.HBMIface != plain.HBMIface || both.DDRIface != plain.DDRIface {
+		t.Error("telemetry+invariants perturbed simulation results")
+	}
+	if both.InvariantChecks == 0 {
+		t.Error("invariant checker never ran alongside telemetry")
+	}
+}
+
+// TestWatchdogAbortsStuckRun: an impossibly small cycle budget must
+// surface as a structured watchdog *Error, not a hang or a raw panic.
+func TestWatchdogAbortsStuckRun(t *testing.T) {
+	cfg := config.Tiny()
+	tr := workloads.LU(cfg.CPU.Cores, workloads.Tiny, 3)
+	res, err := Run(cfg, hbm.ArchRedCache, tr, &Options{MaxCycles: 500})
+	if res != nil || err == nil {
+		t.Fatal("watchdog did not abort a run that cannot finish in 500 cycles")
+	}
+	var se *Error
+	if !errors.As(err, &se) {
+		t.Fatalf("watchdog error is %T, want *sim.Error: %v", err, err)
+	}
+	if se.Op != "watchdog" {
+		t.Errorf("Op = %q, want watchdog", se.Op)
+	}
+	if se.Workload != tr.Name || se.Arch != hbm.ArchRedCache {
+		t.Errorf("error lost run identity: %+v", se)
+	}
+	if se.Fired == 0 {
+		t.Error("error carries no engine state")
+	}
+	if !strings.Contains(err.Error(), "watchdog") {
+		t.Errorf("message %q does not name the guard", err.Error())
+	}
+}
+
+// TestGenerousWatchdogIsHarmless: a budget beyond the natural run
+// length must not alter results even though the watchdog event fires.
+func TestGenerousWatchdogIsHarmless(t *testing.T) {
+	cfg := config.Tiny()
+	tr := workloads.HIST(cfg.CPU.Cores, workloads.Tiny, 2)
+	plain, err := Run(cfg, hbm.ArchRedCache, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := Run(cfg, hbm.ArchRedCache, tr, &Options{MaxCycles: plain.Cycles * 100})
+	if err != nil {
+		t.Fatalf("generous watchdog aborted a healthy run: %v", err)
+	}
+	// The budget must be observationally free down to the interface
+	// counters: a queued watchdog sentinel would drag the writeback
+	// drain to the budget cycle and pick up a spurious refresh.
+	if guarded.Cycles != plain.Cycles || guarded.Ctl != plain.Ctl ||
+		guarded.HBMIface != plain.HBMIface || guarded.DDRIface != plain.DDRIface {
+		t.Error("watchdog budget perturbed a completing run")
+	}
+}
+
+// TestPanicRecoveryAttachesState: a panic inside the run loop must come
+// back as *Error with Op "panic" and the engine position attached.
+func TestPanicRecoveryAttachesState(t *testing.T) {
+	cfg := config.Tiny()
+	tr := workloads.LU(cfg.CPU.Cores, workloads.Tiny, 3)
+	_, err := Run(cfg, hbm.ArchNoHBM, tr, &Options{
+		DDRObserver: func(t *dram.Txn, rowHit bool, cycles int64) {
+			panic("injected test panic")
+		},
+	})
+	var se *Error
+	if !errors.As(err, &se) {
+		t.Fatalf("panic surfaced as %T, want *sim.Error: %v", err, err)
+	}
+	if se.Op != "panic" || !strings.Contains(se.Err.Error(), "injected test panic") {
+		t.Errorf("unexpected recovered error: %+v", se)
+	}
+}

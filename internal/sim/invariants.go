@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"redcache/internal/dram"
+	"redcache/internal/engine"
+	"redcache/internal/hbm"
+	"redcache/internal/stats"
+)
+
+// invChecker is implemented by components that can audit their own
+// internal state; controllers expose it structurally rather than
+// through hbm.Controller so reference topologies without a tag store
+// simply lack the method.
+type invChecker interface{ CheckInvariants() error }
+
+// invariantRunner bundles one run's online invariant sweep: engine heap
+// order, FR-FCFS queue state on both channel models, tag-store/RCU CAM
+// consistency, and interface-counter sanity.  It runs as a periodic
+// engine event and converts the first failure into a panic the run
+// loop's recovery turns into a structured *Error — the checker fires
+// *inside* the simulation, so the reported cycle is exact.
+type invariantRunner struct {
+	checks []func() error
+	// sweeps counts completed full passes (reported as Result.InvariantChecks).
+	sweeps int64
+}
+
+func newInvariantRunner(eng *engine.Engine, hbmCtl, ddrCtl *dram.Controller,
+	ctl hbm.Controller, hbmIface, ddrIface *stats.Interface) *invariantRunner {
+	r := &invariantRunner{}
+	r.checks = append(r.checks, eng.CheckHeap, ddrCtl.CheckInvariants,
+		ddrIface.Check, hbmIface.Check)
+	if hbmCtl != nil {
+		r.checks = append(r.checks, hbmCtl.CheckInvariants)
+	}
+	if c, ok := ctl.(invChecker); ok {
+		r.checks = append(r.checks, c.CheckInvariants)
+	}
+	return r
+}
+
+// tick is the periodic callback: run every check, panic on the first
+// violation.
+func (r *invariantRunner) tick(int64) {
+	for _, check := range r.checks {
+		if err := check(); err != nil {
+			panic(invariantViolation{err: err})
+		}
+	}
+	r.sweeps++
+}

@@ -11,6 +11,7 @@ import (
 	"redcache/internal/dram"
 	"redcache/internal/energy"
 	"redcache/internal/engine"
+	"redcache/internal/fault"
 	"redcache/internal/hbm"
 	"redcache/internal/mem"
 	"redcache/internal/obs"
@@ -40,6 +41,15 @@ type Result struct {
 	// Telemetry holds the epoch time-series and event trace when
 	// Options.Telemetry was set; nil otherwise.
 	Telemetry *obs.Telemetry
+
+	// FaultStats holds the fault-injection counters when Options.Faults
+	// enabled injection; nil for fault-free runs (keeping the golden
+	// fault-free results byte-identical).
+	FaultStats *fault.Stats
+
+	// InvariantChecks counts completed online invariant sweeps when
+	// Options.InvariantCycles was set.
+	InvariantChecks int64
 }
 
 // Seconds converts cycles to wall time at the configured frequency.
@@ -75,8 +85,20 @@ type Options struct {
 	// DDRObserver, when set, receives per-transaction service details of
 	// main-memory accesses (the Fig 3 homo-reuse harness).
 	DDRObserver dram.Observer
-	// MaxCycles aborts runaway simulations; 0 means no limit.
+	// MaxCycles aborts runaway simulations via the cycle-budget
+	// watchdog (and a matching engine event bound): a run still short of
+	// completion at this cycle returns a structured *Error instead of
+	// hanging.  0 means no limit.
 	MaxCycles int64
+	// Faults configures deterministic fault injection; nil or a disabled
+	// configuration builds no injector and leaves every hot path on its
+	// fault-free fast path.
+	Faults *config.Faults
+	// InvariantCycles, when > 0, runs the online invariant checker
+	// (engine heap order, FR-FCFS queue state, tag-store/RCU CAM
+	// consistency, counter sanity) every this many cycles; a violation
+	// aborts the run with a structured *Error.
+	InvariantCycles int64
 	// Telemetry, when set, enables cycle-domain telemetry: every
 	// component registers probes at wire-up and the engine samples them
 	// every Telemetry.EpochCycles cycles.  Sampling is read-only, so a
@@ -86,8 +108,10 @@ type Options struct {
 }
 
 // Run simulates the trace on the given architecture and returns the
-// collected results.
-func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (*Result, error) {
+// collected results.  Watchdog trips, invariant violations, and panics
+// inside the run loop surface as a structured *Error carrying the
+// engine state at the point of failure.
+func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (res *Result, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -97,9 +121,19 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (*Res
 	if opts == nil {
 		opts = &Options{}
 	}
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
 
 	eng := engine.New()
-	res := &Result{Arch: arch, Workload: t.Name}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, asError(r, eng, t.Name, arch)
+		}
+	}()
+	res = &Result{Arch: arch, Workload: t.Name}
 	res.HBMIface.Name = "WideIO"
 	res.DDRIface.Name = "DDRx"
 
@@ -115,6 +149,23 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (*Res
 	ctl, err := hbm.New(arch, eng, cfg, hbmCtl, ddrCtl)
 	if err != nil {
 		return nil, err
+	}
+
+	var inj *fault.Injector
+	if opts.Faults != nil {
+		// One injector is shared by the cache controller and both channel
+		// models: the engine is single-threaded, so the draw order — and
+		// with it the whole run — is a pure function of (seed, faultseed).
+		inj = fault.New(*opts.Faults)
+	}
+	if inj != nil {
+		ddrCtl.SetFaultInjector(inj)
+		if hbmCtl != nil {
+			hbmCtl.SetFaultInjector(inj)
+		}
+		if fc, ok := ctl.(interface{ SetFaultInjector(*fault.Injector) }); ok {
+			fc.SetFaultInjector(inj)
+		}
 	}
 
 	cx := cpu.NewComplex(eng, cfg, t, submitFunc(func(req *mem.Request) { ctl.Submit(req) }))
@@ -140,20 +191,45 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (*Res
 		ctl.RegisterTelemetry(tel)
 		cx.RegisterProbes(&tel.Reg)
 		obs.RegisterCache(&tel.Reg, "l3", cx.Hier.L3Stats())
+		// Fault probes register last so fault-free telemetry keeps its
+		// exact column layout.
+		inj.RegisterProbes(&tel.Reg)
+		inj.SetTracer(tel.Tracer)
 		tel.Start()
 		eng.SchedulePeriodic(tel.EpochCycles(), tel.Sample)
+	}
+
+	var invs *invariantRunner
+	if opts.InvariantCycles > 0 {
+		invs = newInvariantRunner(eng, hbmCtl, ddrCtl, ctl, &res.HBMIface, &res.DDRIface)
+		eng.SchedulePeriodic(opts.InvariantCycles, invs.tick)
 	}
 
 	cx.Start()
 
 	if opts.MaxCycles > 0 {
-		// Translate the cycle bound into a generous event bound: every
-		// component schedules O(1) events per cycle of useful work.
+		// Also translate the cycle bound into a generous event bound:
+		// every component schedules O(1) events per cycle of useful work,
+		// so the event limit catches same-cycle scheduling loops the
+		// cycle deadline alone would never pass.
 		eng.Limit = uint64(opts.MaxCycles)
+		// Cycle-exact watchdog.  The budget is enforced by the bounded
+		// run itself rather than a queued sentinel event: an event
+		// parked at the budget cycle would hold the queue open after the
+		// cores retire, dragging the clock (and the writeback drain
+		// below) to the budget cycle and perturbing interface counters.
+		if !eng.RunWithin(opts.MaxCycles) && cx.AllDoneAt < 0 {
+			panic(watchdogAbort{budget: opts.MaxCycles})
+		}
+		// Cores retired within budget; anything still queued past the
+		// deadline is a periodic tick about to auto-stop, and letting it
+		// fire keeps the clock identical to an unbounded run.
 	}
 	eng.Run()
 	if cx.AllDoneAt < 0 {
-		return nil, fmt.Errorf("sim: %s/%s deadlocked with %d events fired", t.Name, arch, eng.Fired)
+		return nil, &Error{Op: "deadlock", Workload: t.Name, Arch: arch,
+			Cycle: eng.Now(), Fired: eng.Fired, Pending: eng.Pending(),
+			Err: fmt.Errorf("event queue drained before all cores retired")}
 	}
 
 	ctl.Drain()
@@ -169,6 +245,13 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (*Res
 	res.EventsFired = eng.Fired
 	res.Ctl = *ctl.Stats()
 	res.L3 = *cx.Hier.L3Stats()
+	if inj != nil {
+		fs := *inj.Stats()
+		res.FaultStats = &fs
+	}
+	if invs != nil {
+		res.InvariantChecks = invs.sweeps
+	}
 
 	in := energy.Inputs{
 		Cycles:      res.Cycles,

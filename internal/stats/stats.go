@@ -55,6 +55,35 @@ func (i *Interface) BandwidthUtil(elapsed int64) float64 {
 	return float64(i.BusyCycles) / float64(elapsed)
 }
 
+// Check validates the counters' structural relationships: every counter
+// is non-negative, each row miss performed at least one activation, and
+// no more column accesses were served than transactions enqueued.  It
+// is the stats leg of the opt-in online invariant checker.
+func (i *Interface) Check() error {
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"read_bytes", i.ReadBytes}, {"write_bytes", i.WriteBytes},
+		{"busy_cycles", i.BusyCycles}, {"requests", i.Requests},
+		{"row_hits", i.RowHits}, {"row_misses", i.RowMisses},
+		{"activates", i.Activates}, {"refreshes", i.Refreshes},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("stats: %s %s went negative (%d)", i.Name, c.name, c.v)
+		}
+	}
+	if i.Activates < i.RowMisses {
+		return fmt.Errorf("stats: %s activates %d below row misses %d",
+			i.Name, i.Activates, i.RowMisses)
+	}
+	if i.RowHits+i.RowMisses > i.Requests {
+		return fmt.Errorf("stats: %s served %d column accesses for only %d requests",
+			i.Name, i.RowHits+i.RowMisses, i.Requests)
+	}
+	return nil
+}
+
 // Snapshot returns a copy of the current counters, usable later as the
 // baseline for Delta.
 func (i *Interface) Snapshot() Interface { return *i }

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"redcache/internal/mem"
+)
+
+// goldenCorpus encodes a few synthetic traces spanning the format's
+// shapes: empty, single-stream, multi-stream with coalescing and gap
+// overflow, and a long stream crossing the codec's batch boundary.
+func goldenCorpus(f *testing.F) [][]byte {
+	f.Helper()
+	var out [][]byte
+	add := func(t *Trace) {
+		var buf bytes.Buffer
+		if err := Encode(&buf, t); err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, buf.Bytes())
+	}
+
+	add(&Trace{Name: "empty"})
+	add(&Trace{Name: "zero-stream", Streams: []Stream{nil, nil}})
+
+	var b Builder
+	b.Work(3)
+	b.Load(mem.Addr(0x1000))
+	b.Store(mem.Addr(0x1000)) // coalesces into the load
+	b.Work(70000)             // gap overflow splits records
+	b.Store(mem.Addr(0x2040))
+	add(&Trace{Name: "small", Streams: []Stream{b.Stream()}})
+
+	var long Builder
+	for i := 0; i < recBatch+37; i++ { // cross the batch boundary
+		long.Work(i % 7)
+		long.Load(mem.Addr(uint64(i) * 64))
+	}
+	add(&Trace{Name: "long", Streams: []Stream{long.Stream(), b.Stream()}})
+	return out
+}
+
+// FuzzDecode asserts the binary codec never panics or over-allocates on
+// arbitrary input, and that anything it accepts survives an
+// encode/decode round trip unchanged.
+func FuzzDecode(f *testing.F) {
+	for _, b := range goldenCorpus(f) {
+		f.Add(b)
+		if len(b) > 8 {
+			f.Add(b[:len(b)/2]) // truncated variants
+			f.Add(b[:8])
+		}
+	}
+	f.Add([]byte("RCT1"))
+	f.Add([]byte("RCT9junk"))
+	// A header claiming 2^31 records with no data behind it: must fail
+	// fast on the truncated read, not allocate the claimed stream.
+	huge := append([]byte("RCT1"), []byte{1, 0, 0, 0, 0, 0}...)
+	huge = append(huge, []byte{0, 0, 0, 128, 0, 0, 0, 0}...)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatalf("re-encoding a decoded trace failed: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding failed: %v", err)
+		}
+		if tr.Name != back.Name || tr.Cores() != back.Cores() || tr.Records() != back.Records() {
+			t.Fatalf("round trip changed shape: %d/%d records", tr.Records(), back.Records())
+		}
+		if !reflect.DeepEqual(tr.Streams, back.Streams) {
+			t.Fatal("round trip changed stream contents")
+		}
+	})
+}

@@ -223,7 +223,7 @@ func Decode(r io.Reader) (*Trace, error) {
 	}
 	var hdr [6]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: reading header: %w", truncated(err))
 	}
 	cores := binary.LittleEndian.Uint32(hdr[:4])
 	nameLen := binary.LittleEndian.Uint16(hdr[4:])
@@ -232,38 +232,58 @@ func Decode(r io.Reader) (*Trace, error) {
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: reading name: %w", truncated(err))
 	}
 	t := &Trace{Name: string(name), Streams: make([]Stream, cores)}
 	var chunk [recSize * recBatch]byte
 	for i := range t.Streams {
 		var cnt [8]byte
 		if _, err := io.ReadFull(br, cnt[:]); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: reading stream %d count: %w", i, truncated(err))
 		}
 		n := binary.LittleEndian.Uint64(cnt[:])
 		if n > 1<<32 {
 			return nil, fmt.Errorf("trace: implausible record count %d", n)
 		}
-		s := make(Stream, n)
-		for off := 0; off < len(s); off += recBatch {
-			k := len(s) - off
-			if k > recBatch {
-				k = recBatch
-			}
+		// Grow the stream batch by verified batch instead of trusting the
+		// declared count: a corrupt or hostile header can claim 2^32
+		// records, and preallocating that would be a 60+ GB allocation
+		// before the first truncated read is ever noticed.  The initial
+		// capacity covers any honest small trace in one shot.
+		s := make(Stream, 0, min64(n, 1<<16))
+		for off := uint64(0); off < n; off += recBatch {
+			k := int(min64(n-off, recBatch))
 			if _, err := io.ReadFull(br, chunk[:k*recSize]); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("trace: stream %d truncated at record %d of %d: %w",
+					i, off, n, truncated(err))
 			}
 			for j := 0; j < k; j++ {
 				rec := chunk[j*recSize:]
-				s[off+j] = Record{
+				s = append(s, Record{
 					Gap:   binary.LittleEndian.Uint16(rec[0:2]),
 					Write: rec[2] != 0,
 					Addr:  mem.Addr(binary.LittleEndian.Uint64(rec[3:recSize])),
-				}
+				})
 			}
 		}
 		t.Streams[i] = s
 	}
 	return t, nil
+}
+
+// truncated maps the io.ReadFull mid-object EOF to ErrUnexpectedEOF so
+// every short read — even one cut exactly between records — reports as
+// a truncation rather than a clean end of file.
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }
