@@ -180,7 +180,8 @@ func benchDRAMRowHitStream(b *testing.B) {
 
 // benchTraceRoundTrip mirrors internal/trace.BenchmarkTraceRoundTrip:
 // one op encodes a deterministic 4×50k-record trace into a reused
-// buffer and decodes it back.
+// buffer and decodes it back through reused Encoder/Decoder instances
+// (steady state: stream backing arrays and bufio buffers survive ops).
 func benchTraceRoundTrip(b *testing.B) {
 	t := &trace.Trace{Name: "bench"}
 	for s := 0; s < 4; s++ {
@@ -196,19 +197,22 @@ func benchTraceRoundTrip(b *testing.B) {
 		}
 		t.Streams = append(t.Streams, bld.Stream())
 	}
+	enc, dec := trace.NewEncoder(), trace.NewDecoder()
 	var buf bytes.Buffer
-	if err := trace.Encode(&buf, t); err != nil {
+	if err := enc.Encode(&buf, t); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(buf.Len()))
+	rd := bytes.NewReader(buf.Bytes())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf.Reset()
-		if err := trace.Encode(&buf, t); err != nil {
+		if err := enc.Encode(&buf, t); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := trace.Decode(bytes.NewReader(buf.Bytes())); err != nil {
+		rd.Reset(buf.Bytes())
+		if _, err := dec.Decode(rd); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,7 +1,11 @@
 // Command redvet runs the repository's domain-specific static-analysis
 // suite: the analyzers in internal/lint that machine-check the
 // simulator's determinism, unit and allocation contracts (see
-// DESIGN.md, "Determinism contract & static analysis").
+// DESIGN.md, "Determinism contract & static analysis").  Since v3 the
+// suite also carries the engine-sharding gate: detsched proves the sim
+// core free of scheduling nondeterminism, shardlocal proves annotated
+// per-shard state confined to its owning component, and fporder pins
+// the iteration order of float reductions.
 //
 // Usage:
 //

@@ -11,6 +11,7 @@ import (
 	"redcache/internal/stats"
 )
 
+//redvet:shardlocal
 type line struct {
 	tag   uint64
 	valid bool

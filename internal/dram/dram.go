@@ -69,6 +69,9 @@ type Txn struct {
 	onDone func(finish int64)
 }
 
+// bank is per-channel DRAM bank state, owned by its channel's shard.
+//
+//redvet:shardlocal
 type bank struct {
 	openRow   int64 // -1 when closed
 	actAt     int64 // cycle of last ACT
@@ -78,6 +81,9 @@ type bank struct {
 	rcReady   int64 // actAt + tRC
 }
 
+// rank is per-channel rank timing state, owned by its channel's shard.
+//
+//redvet:shardlocal
 type rank struct {
 	banks   []bank
 	lastAct int64    // for tRRD
@@ -91,6 +97,8 @@ type rank struct {
 // and no removal ever reallocates.  FIFO order (and therefore the
 // determinism contract) is preserved exactly: relative order of the
 // remaining transactions never changes.
+//
+//redvet:shardlocal
 type txnQueue struct {
 	buf  []*Txn
 	head int
@@ -145,6 +153,10 @@ func (q *txnQueue) removeAt(i int) {
 	q.n--
 }
 
+// channel is the unit of the planned engine sharding: everything it
+// reaches (queues, ranks, banks) is confined to one shard.
+//
+//redvet:shardlocal
 type channel struct {
 	rdq, wrq    txnQueue // split read/write transaction queues
 	drainWr     bool     // write-drain mode (watermark hysteresis)

@@ -154,6 +154,7 @@ func (s *Suite) runAll(keys []runKey) error {
 	var wg sync.WaitGroup
 	for _, k := range keys {
 		wg.Add(1)
+		//redvet:detsafe — harness fan-out only: each worker runs an isolated simulation and memoizes its Results keyed by runKey; consumers read the memo in their own deterministic key order, so scheduling never reaches reported bytes
 		go func(k runKey) {
 			defer wg.Done()
 			sem <- struct{}{}
@@ -163,6 +164,7 @@ func (s *Suite) runAll(keys []runKey) error {
 			}
 		}(k)
 	}
+	//redvet:detsafe — barrier only: workers publish into the runKey-keyed memo, and every post-Wait read iterates fixed config lists, not completion order
 	wg.Wait()
 	close(errCh)
 	return <-errCh

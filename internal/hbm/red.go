@@ -25,6 +25,8 @@ const regretCap = 4096
 
 // red implements the RedCache controller family over the direct-mapped
 // TAD organization (Fig 7 flow).
+//
+//redvet:shardlocal
 type red struct {
 	ctlBase
 	f     redFlags

@@ -71,6 +71,43 @@ func TestBaselineFilterAndStale(t *testing.T) {
 	}
 }
 
+// TestBaselineV3Analyzers checks that baseline entries for the v3
+// determinism analyzers round-trip through Filter like any other, and
+// that an entry left behind after the finding is fixed surfaces as
+// stale rather than silently sanctioning future regressions.
+func TestBaselineV3Analyzers(t *testing.T) {
+	doc := `{"analyzer":"detsched","file":"internal/experiments/experiments.go","message":"go statement: goroutine interleaving is scheduler-chosen, not (at, seq)-ordered","justification":"harness fan-out, replaced by detsafe annotation"}
+{"analyzer":"shardlocal","file":"internal/hbm/red.go","message":"field of probe aliases shard-local type tagStore through a pointer or channel; embed it by value or annotate probe //redvet:shardlocal too","justification":"transitional alias, removed with the probe rewrite"}
+{"analyzer":"fporder","file":"internal/stats/stats.go","message":"reduces xs in nondeterministic order into a float accumulator; sort it first or annotate //redvet:fporder with a justification","justification":"legacy reducer, sorted upstream since v2"}
+`
+	b, err := ParseBaseline([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	ds := []Diagnostic{
+		diag("detsched", "/repo/internal/experiments/experiments.go",
+			"go statement: goroutine interleaving is scheduler-chosen, not (at, seq)-ordered"),
+		diag("shardlocal", "/repo/internal/dram/dram.go", "a brand new v3 finding"),
+	}
+	kept, stale := b.Filter("/repo", ds)
+	if len(kept) != 1 || kept[0].Message != "a brand new v3 finding" {
+		t.Fatalf("kept = %v, want only the unsanctioned shardlocal finding", kept)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("stale = %v, want the fixed shardlocal and fporder entries", stale)
+	}
+	staleAnalyzers := map[string]bool{}
+	for _, s := range stale {
+		staleAnalyzers[s.Analyzer] = true
+	}
+	if !staleAnalyzers["shardlocal"] || !staleAnalyzers["fporder"] {
+		t.Fatalf("stale analyzers = %v, want shardlocal and fporder", staleAnalyzers)
+	}
+}
+
 func TestRelFile(t *testing.T) {
 	if got := RelFile("/repo", "/repo/internal/x/x.go"); got != "internal/x/x.go" {
 		t.Errorf("RelFile inside root = %q", got)

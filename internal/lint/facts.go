@@ -58,6 +58,25 @@ type FuncFacts struct {
 	// NSSinkParam marks parameter i as flowing into an engine
 	// scheduling delay/deadline argument (directly or transitively).
 	NSSinkParam []bool `json:"nsSinkParam,omitempty"`
+
+	// Nondet, when non-empty, says why the detsched analyzer considers
+	// this function scheduling-nondeterministic ("go statement", "calls
+	// pkg.F (go statement)", ...).  Empty means statically proven to
+	// order all simulated-time effects through the engine's (at, seq)
+	// total order — the property the sharded engine needs transitively.
+	Nondet string `json:"nondet,omitempty"`
+	// Mergepoint records the //redvet:mergepoint annotation: the function
+	// is a sanctioned cross-shard flow point (deterministic merge), so
+	// shard-local state may legally pass through it.
+	Mergepoint bool `json:"mergepoint,omitempty"`
+
+	// UnorderedReturn marks result i as a slice whose element order is
+	// not deterministic (gathered from a map range and never sorted).
+	UnorderedReturn []bool `json:"unorderedReturn,omitempty"`
+	// FloatReduceParam marks parameter i as a slice the function reduces
+	// into a float accumulator in iteration order — passing an unordered
+	// slice makes the result order-dependent (fporder).
+	FloatReduceParam []bool `json:"floatReduceParam,omitempty"`
 }
 
 // PackageFacts groups one package's exported facts for serialization.
@@ -68,6 +87,11 @@ type PackageFacts struct {
 	// have been observed holding nanosecond-domain values to a short
 	// reason string describing the write that tainted them.
 	Tainted map[string]string `json:"tainted,omitempty"`
+	// ShardLocal maps type names annotated //redvet:shardlocal in this
+	// package to the annotation's justification (may be empty — the
+	// marker adds obligations, it doesn't suppress).  The future sharded
+	// engine consumes these to know which state is confinement-proven.
+	ShardLocal map[string]string `json:"shardLocal,omitempty"`
 }
 
 // FactStore is the session-wide cross-package fact database.
@@ -91,7 +115,11 @@ func (s *FactStore) sealPackage(pkgPath string) { s.sealed[pkgPath] = true }
 func (s *FactStore) pkg(pkgPath string) *PackageFacts {
 	pf := s.pkgs[pkgPath]
 	if pf == nil {
-		pf = &PackageFacts{Funcs: make(map[string]*FuncFacts), Tainted: make(map[string]string)}
+		pf = &PackageFacts{
+			Funcs:      make(map[string]*FuncFacts),
+			Tainted:    make(map[string]string),
+			ShardLocal: make(map[string]string),
+		}
 		s.pkgs[pkgPath] = pf
 	}
 	return pf
@@ -168,6 +196,38 @@ func (s *FactStore) TaintReason(pkgPath, key string) (string, bool) {
 	return r, ok
 }
 
+// MarkShardLocal records that typeName (declared in pkgPath) carries
+// the //redvet:shardlocal confinement annotation.
+func (s *FactStore) MarkShardLocal(pkgPath, typeName, justification string) {
+	s.pkg(pkgPath).ShardLocal[typeName] = justification
+}
+
+// IsShardLocal reports whether typeName in pkgPath is annotated
+// //redvet:shardlocal.
+func (s *FactStore) IsShardLocal(pkgPath, typeName string) bool {
+	pf := s.pkgs[pkgPath]
+	if pf == nil {
+		return false
+	}
+	_, ok := pf.ShardLocal[typeName]
+	return ok
+}
+
+// ShardLocalTypes returns the annotated type names of pkgPath, sorted
+// (for the sharded engine's consumption and for tests).
+func (s *FactStore) ShardLocalTypes(pkgPath string) []string {
+	pf := s.pkgs[pkgPath]
+	if pf == nil {
+		return nil
+	}
+	out := make([]string, 0, len(pf.ShardLocal))
+	for name := range pf.ShardLocal {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // HotpathFuncs returns the FullName keys of every function annotated
 // //redvet:hotpath in pkgPath, sorted (for the static/runtime guard
 // agreement test).
@@ -208,6 +268,9 @@ func (s *FactStore) ImportPackage(pkgPath string, data []byte) error {
 	}
 	if pf.Tainted == nil {
 		pf.Tainted = make(map[string]string)
+	}
+	if pf.ShardLocal == nil {
+		pf.ShardLocal = make(map[string]string)
 	}
 	s.pkgs[pkgPath] = &pf
 	s.sealPackage(pkgPath)

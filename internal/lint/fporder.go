@@ -1,0 +1,473 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// FPOrder extends detmaprange's determinism net to floating-point
+// fan-in: float addition is not associative, so reducing a slice whose
+// element order is not provably deterministic silently changes means,
+// energy sums and bandwidth figures between runs.  detmaprange already
+// rejects float accumulation directly inside a map range; FPOrder
+// chases the gather-then-reduce split across functions and packages:
+//
+//   - a slice built by appending inside a map range is unordered,
+//   - unordered-ness propagates through assignments, appends, slicing,
+//     and function returns (FuncFacts.UnorderedReturn),
+//   - sort.* / slices.Sort* on the variable anywhere in the function
+//     restores determinism (a flow-insensitive kill: the analysis errs
+//     toward silence here, the runtime determinism nets still back it),
+//   - a diagnostic fires when an unordered slice is reduced into a
+//     float accumulator — by a local range loop, or by passing it to a
+//     function whose FloatReduceParam fact says it reduces that
+//     parameter, however many call hops away the loop is.
+//
+// Ranging a channel into a float accumulator is flagged directly:
+// arrival order is whatever the sender interleaving produced.  Integer
+// accumulation stays exempt everywhere (commutative, as in
+// detmaprange).  Suppression is //redvet:fporder with a justification.
+var FPOrder = &Analyzer{
+	Name: "fporder",
+	Doc: "flags float reductions over slices whose element order is not provably " +
+		"deterministic (map-range gathers, unordered cross-package results), " +
+		"tracking order taint through returns and parameters via facts",
+	Directive: "fporder",
+	Scope: func(path string) bool {
+		if strings.HasPrefix(path, "redcache/internal/lint") {
+			return strings.HasPrefix(path, "redcache/internal/lint/testdata/src/fporder")
+		}
+		return true
+	},
+	Facts: fporderFacts,
+	Run:   fporderRun,
+}
+
+// fpFlow is the per-function order-taint state.
+type fpFlow struct {
+	pass   *Pass
+	facts  *FactStore
+	fn     *types.Func
+	decl   *ast.FuncDecl
+	sig    *types.Signature
+	report bool
+
+	unordered map[types.Object]bool
+	sorted    map[types.Object]bool // sort.*-killed vars: never tainted
+	reported  map[token.Pos]bool
+	changed   bool
+
+	unRet     []bool
+	reducePar []bool
+}
+
+func newFPFlow(pass *Pass, decl *ast.FuncDecl, report bool) *fpFlow {
+	fn, _ := pass.Info.Defs[decl.Name].(*types.Func)
+	if fn == nil || decl.Body == nil {
+		return nil
+	}
+	f := &fpFlow{
+		pass:      pass,
+		facts:     pass.EnsureFacts(),
+		fn:        fn,
+		decl:      decl,
+		sig:       fn.Type().(*types.Signature),
+		report:    report,
+		unordered: make(map[types.Object]bool),
+		sorted:    make(map[types.Object]bool),
+		reported:  make(map[token.Pos]bool),
+	}
+	f.unRet = make([]bool, f.sig.Results().Len())
+	f.reducePar = make([]bool, f.sig.Params().Len())
+	f.collectSortKills()
+	return f
+}
+
+// collectSortKills pre-marks variables passed to a sorting function
+// anywhere in the body; they are treated as ordered for the whole
+// function.
+func (f *fpFlow) collectSortKills() {
+	ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := staticCallee(f.pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		sorts := false
+		switch fn.Pkg().Path() {
+		case "sort":
+			switch fn.Name() {
+			case "Slice", "SliceStable", "Sort", "Stable",
+				"Ints", "Float64s", "Strings":
+				sorts = true
+			}
+		case "slices":
+			sorts = strings.HasPrefix(fn.Name(), "Sort")
+		}
+		if !sorts {
+			return true
+		}
+		if id, ok := unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := f.pass.Info.Uses[id]; obj != nil {
+				f.sorted[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+func (f *fpFlow) mark(obj types.Object) {
+	if obj == nil || f.sorted[obj] || f.unordered[obj] {
+		return
+	}
+	f.unordered[obj] = true
+	f.changed = true
+}
+
+func (f *fpFlow) ident(e ast.Expr) types.Object {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := f.pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return f.pass.Info.Defs[id]
+}
+
+// paramIndex returns obj's parameter position, or -1.
+func (f *fpFlow) paramIndex(obj types.Object) int {
+	for i := 0; i < f.sig.Params().Len(); i++ {
+		if f.sig.Params().At(i) == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// exprUnordered reports whether e carries order taint.
+func (f *fpFlow) exprUnordered(e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return f.unordered[f.ident(e)]
+	case *ast.SliceExpr:
+		return f.exprUnordered(e.X)
+	case *ast.CallExpr:
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := f.pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				for _, arg := range e.Args {
+					if f.exprUnordered(arg) {
+						return true
+					}
+				}
+				return false
+			}
+		}
+		rs := f.callUnordered(e)
+		for _, r := range rs {
+			if r {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// callUnordered returns per-result order taint for a call, from the
+// callee's UnorderedReturn fact.
+func (f *fpFlow) callUnordered(call *ast.CallExpr) []bool {
+	callee := staticCallee(f.pass.Info, call)
+	if callee == nil {
+		return nil
+	}
+	ff := f.facts.Func(callee)
+	if ff == nil {
+		return nil
+	}
+	return ff.UnorderedReturn
+}
+
+// inMapRange reports whether some enclosing node on the stack is a
+// range statement over a map.
+func (f *fpFlow) inMapRange(stack []ast.Node) bool {
+	for _, n := range stack {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			if t := f.pass.Info.TypeOf(rs.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// step runs one propagation pass over the body.
+func (f *fpFlow) step() {
+	var stack []ast.Node
+	ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			f.assign(n, stack)
+		case *ast.RangeStmt:
+			f.rangeStmt(n)
+		case *ast.CallExpr:
+			f.callSinks(n)
+		case *ast.ReturnStmt:
+			if len(n.Results) == len(f.unRet) {
+				for i, e := range n.Results {
+					if !f.unRet[i] && f.exprUnordered(e) && isSliceType(f.pass.Info.TypeOf(e)) {
+						f.unRet[i] = true
+						f.changed = true
+					}
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func (f *fpFlow) assign(n *ast.AssignStmt, stack []ast.Node) {
+	// Multi-value call: x, y := g().
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		if call, ok := unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+			rs := f.callUnordered(call)
+			for i, lhs := range n.Lhs {
+				if i < len(rs) && rs[i] {
+					f.mark(f.ident(lhs))
+				}
+			}
+			return
+		}
+	}
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		rhs := n.Rhs[i]
+		tainted := f.exprUnordered(rhs)
+		// The primitive source: appending inside a map range gathers
+		// elements in randomized iteration order.
+		if !tainted && f.inMapRange(stack) {
+			if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+				if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+					if b, ok := f.pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+						tainted = true
+					}
+				}
+			}
+		}
+		if tainted {
+			f.mark(f.ident(lhs))
+		}
+	}
+}
+
+func (f *fpFlow) rangeStmt(n *ast.RangeStmt) {
+	t := f.pass.Info.TypeOf(n.X)
+	if t == nil || !floatAccumulates(f.pass, n.Body) {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Chan:
+		f.sink(n.For, "reduces channel %s in arrival order into a float accumulator; arrival order is not (at, seq)-deterministic — gather and sort, or annotate //redvet:fporder", exprString(n.X))
+	case *types.Slice:
+		if f.exprUnordered(n.X) {
+			f.sink(n.For, "reduces %s in nondeterministic order into a float accumulator; sort it first or annotate //redvet:fporder with a justification", exprString(n.X))
+		}
+		// A parameter reduced in iteration order makes this function a
+		// transitive reduction sink.
+		if obj := f.ident(n.X); obj != nil {
+			if i := f.paramIndex(obj); i >= 0 && !f.reducePar[i] {
+				f.reducePar[i] = true
+				f.changed = true
+			}
+		}
+	}
+}
+
+// callSinks checks arguments against the callee's FloatReduceParam
+// fact, and propagates the sink property to forwarded parameters.
+func (f *fpFlow) callSinks(call *ast.CallExpr) {
+	callee := staticCallee(f.pass.Info, call)
+	if callee == nil {
+		return
+	}
+	ff := f.facts.Func(callee)
+	if ff == nil {
+		return
+	}
+	for j, reduces := range ff.FloatReduceParam {
+		if !reduces || j >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[j]
+		if f.exprUnordered(arg) {
+			f.sink(arg.Pos(), "unordered slice %s reaches %s parameter %d, which reduces it into a float accumulator; sort it first or annotate //redvet:fporder", exprString(arg), FuncKey(callee), j)
+		}
+		if obj := f.ident(arg); obj != nil {
+			if i := f.paramIndex(obj); i >= 0 && !f.reducePar[i] {
+				f.reducePar[i] = true
+				f.changed = true
+			}
+		}
+	}
+}
+
+func (f *fpFlow) sink(pos token.Pos, format string, args ...any) {
+	if !f.report || f.reported[pos] {
+		return
+	}
+	f.reported[pos] = true
+	f.pass.Reportf(pos, format, args...)
+}
+
+// run iterates to a fixpoint (silently), then replays once with
+// reporting enabled so each sink fires exactly once on stable taint.
+func (f *fpFlow) run() (unRet []bool, reducePar []bool) {
+	wantReport := f.report
+	f.report = false
+	for i := 0; i < 8; i++ {
+		f.changed = false
+		f.step()
+		if !f.changed {
+			break
+		}
+	}
+	if wantReport {
+		f.report = true
+		f.step()
+	}
+	return f.unRet, f.reducePar
+}
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// floatAccumulates reports whether body accumulates into a float:
+// compound assignment, float ++/--, or the explicit x = x op e form.
+func floatAccumulates(pass *Pass, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if isFloatType(pass.Info.TypeOf(n.X)) {
+				found = true
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if isFloatType(pass.Info.TypeOf(lhs)) {
+						found = true
+					}
+				}
+			case token.ASSIGN:
+				if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+					return true
+				}
+				lhs, ok := unparen(n.Lhs[0]).(*ast.Ident)
+				if !ok || !isFloatType(pass.Info.TypeOf(lhs)) {
+					return true
+				}
+				b, ok := unparen(n.Rhs[0]).(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				switch b.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					for _, side := range []ast.Expr{b.X, b.Y} {
+						if id, ok := unparen(side).(*ast.Ident); ok &&
+							pass.Info.Uses[id] != nil && pass.Info.Uses[id] == pass.Info.Uses[lhs] {
+							found = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// fporderFacts computes UnorderedReturn and FloatReduceParam for every
+// function, iterating the package to a fixpoint so declaration order
+// and same-package recursion don't matter.
+func fporderFacts(pass *Pass) {
+	facts := pass.EnsureFacts()
+	decls := funcDecls(pass)
+	for round := 0; round < 4; round++ {
+		changed := false
+		for fn, decl := range decls {
+			flow := newFPFlow(pass, decl, false)
+			if flow == nil {
+				continue
+			}
+			unRet, reducePar := flow.run()
+			trivial := true
+			for _, b := range unRet {
+				if b {
+					trivial = false
+				}
+			}
+			for _, b := range reducePar {
+				if b {
+					trivial = false
+				}
+			}
+			if trivial {
+				continue // keep all-clean facts implicit
+			}
+			ff := facts.EnsureFunc(fn)
+			if !reflect.DeepEqual(ff.UnorderedReturn, unRet) ||
+				!reflect.DeepEqual(ff.FloatReduceParam, reducePar) {
+				ff.UnorderedReturn, ff.FloatReduceParam = unRet, reducePar
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// fporderRun replays the analysis over the target package with
+// reporting enabled (dependency facts are already in the store).
+func fporderRun(pass *Pass) {
+	for _, decl := range funcDecls(pass) {
+		if flow := newFPFlow(pass, decl, true); flow != nil {
+			flow.run()
+		}
+	}
+}

@@ -49,8 +49,11 @@ func goldenJSON(t *testing.T, a *Analyzer, fixture string) {
 	}
 }
 
-func TestGoldenJSONNoAlloc(t *testing.T)  { goldenJSON(t, NoAlloc, "noalloc") }
-func TestGoldenJSONUnitFlow(t *testing.T) { goldenJSON(t, UnitFlow, "unitflow") }
+func TestGoldenJSONNoAlloc(t *testing.T)    { goldenJSON(t, NoAlloc, "noalloc") }
+func TestGoldenJSONUnitFlow(t *testing.T)   { goldenJSON(t, UnitFlow, "unitflow") }
+func TestGoldenJSONDetSched(t *testing.T)   { goldenJSON(t, DetSched, "detsched") }
+func TestGoldenJSONShardLocal(t *testing.T) { goldenJSON(t, ShardLocal, "shardlocal") }
+func TestGoldenJSONFPOrder(t *testing.T)    { goldenJSON(t, FPOrder, "fporder") }
 
 // TestWriteJSONEmpty pins the no-findings rendering: a bare empty
 // array, so CI consumers can parse it unconditionally.

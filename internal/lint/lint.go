@@ -32,18 +32,28 @@
 //
 // on the flagged line or the line above suppresses the diagnostic.  The
 // directive token is analyzer-specific (ordered, wallclock, units,
-// statshook, alloc, unitflow) so a justification for one invariant never
-// silences another.  A suppression without a non-empty justification is
-// itself a finding (the directive audit, analyzer name "directive").
+// statshook, alloc, unitflow, detsafe, mergepoint, fporder) so a
+// justification for one invariant never silences another.  A
+// suppression without a non-empty justification is itself a finding
+// (the directive audit, analyzer name "directive").
 //
-// Two further tokens are contract markers rather than suppressions:
+// Further tokens are contract markers rather than suppressions:
 //
-//	//redvet:hotpath   — the function below must be statically
-//	                     allocation-free (checked by noalloc)
-//	//redvet:coldstart — the function below performs sanctioned
-//	                     amortized warm-up allocation (pool refill,
-//	                     ring growth) and may be called from hotpath
-//	                     functions; requires a justification
+//	//redvet:hotpath    — the function below must be statically
+//	                      allocation-free (checked by noalloc)
+//	//redvet:coldstart  — the function below performs sanctioned
+//	                      amortized warm-up allocation (pool refill,
+//	                      ring growth) and may be called from hotpath
+//	                      functions; requires a justification
+//	//redvet:shardlocal — the type below must be provably confined to
+//	                      one owning component (checked by shardlocal);
+//	                      like hotpath it adds obligations, so no
+//	                      justification is required
+//	//redvet:mergepoint — the function below is a sanctioned
+//	                      cross-shard flow point (deterministic merge);
+//	                      it doubles as the shardlocal analyzer's
+//	                      per-site suppression and requires a
+//	                      justification either way
 package lint
 
 import (
@@ -204,7 +214,12 @@ type Directive struct {
 var suppressionTokens = map[string]bool{
 	"ordered": true, "wallclock": true, "units": true, "statshook": true,
 	"alloc": true, "unitflow": true, "coldstart": true,
+	"detsafe": true, "mergepoint": true, "fporder": true,
 }
+
+// markerTokens are contract markers that add obligations instead of
+// removing them; they need no justification.
+var markerTokens = map[string]bool{"hotpath": true, "shardlocal": true}
 
 // directiveLines extracts redvet directives from a file's comments,
 // keyed by the line the comment ends on.
@@ -345,7 +360,10 @@ func (s *Session) Run(analyzers []*Analyzer) []Diagnostic {
 // flagged too — a typo like //redvet:orderd would otherwise silently
 // fail to suppress.
 func auditDirectives(pkg *Package) []Diagnostic {
-	known := map[string]bool{"hotpath": true}
+	known := map[string]bool{}
+	for tok := range markerTokens {
+		known[tok] = true
+	}
 	for tok := range suppressionTokens {
 		known[tok] = true
 	}
@@ -361,7 +379,7 @@ func auditDirectives(pkg *Package) []Diagnostic {
 					out = append(out, Diagnostic{
 						Analyzer: "directive",
 						Pos:      pkg.Fset.Position(d.Pos),
-						Message:  fmt.Sprintf("unknown redvet directive %q (known: alloc, coldstart, hotpath, ordered, statshook, units, unitflow, wallclock)", d.Tok),
+						Message:  fmt.Sprintf("unknown redvet directive %q (known: alloc, coldstart, detsafe, fporder, hotpath, mergepoint, ordered, shardlocal, statshook, units, unitflow, wallclock)", d.Tok),
 					})
 				case suppressionTokens[d.Tok] && d.Just == "":
 					out = append(out, Diagnostic{
@@ -378,7 +396,10 @@ func auditDirectives(pkg *Package) []Diagnostic {
 
 // All returns the full redvet analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{DetMapRange, NoWallClock, CycleUnits, StatsPath, NoAlloc, UnitFlow}
+	return []*Analyzer{
+		DetMapRange, NoWallClock, CycleUnits, StatsPath, NoAlloc, UnitFlow,
+		DetSched, ShardLocal, FPOrder,
+	}
 }
 
 // inspect walks every file in the pass with fn, tracking the stack of

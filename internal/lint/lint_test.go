@@ -98,6 +98,9 @@ func TestCycleUnits(t *testing.T)  { runFixture(t, CycleUnits, "cycleunits") }
 func TestStatsPath(t *testing.T)   { runFixture(t, StatsPath, "statspath") }
 func TestNoAlloc(t *testing.T)     { runFixture(t, NoAlloc, "noalloc") }
 func TestUnitFlow(t *testing.T)    { runFixture(t, UnitFlow, "unitflow") }
+func TestDetSched(t *testing.T)    { runFixture(t, DetSched, "detsched") }
+func TestShardLocal(t *testing.T)  { runFixture(t, ShardLocal, "shardlocal") }
+func TestFPOrder(t *testing.T)     { runFixture(t, FPOrder, "fporder") }
 
 // TestRepoIsClean runs the full suite over the whole repository — the
 // same gate CI applies with `go run ./cmd/redvet ./...` — so a lint
@@ -161,6 +164,20 @@ func TestScopes(t *testing.T) {
 		{UnitFlow, "redcache/internal/dram", true},
 		{UnitFlow, "redcache/internal/lint", false},
 		{UnitFlow, "redcache/internal/lint/testdata/src/unitflow", false},
+		{DetSched, "redcache/internal/engine", true},
+		{DetSched, "redcache/internal/experiments", true},
+		{DetSched, "redcache/cmd/redbench", false},
+		{DetSched, "redcache/internal/lint", false},
+		{DetSched, "redcache/internal/lint/testdata/src/detsched", true},
+		{ShardLocal, "redcache/internal/dram", true},
+		{ShardLocal, "redcache/internal/hbm", true},
+		{ShardLocal, "redcache/internal/experiments", false},
+		{ShardLocal, "redcache/internal/lint", false},
+		{ShardLocal, "redcache/internal/lint/testdata/src/shardlocal", true},
+		{FPOrder, "redcache/internal/stats", true},
+		{FPOrder, "redcache/internal/experiments", true},
+		{FPOrder, "redcache/internal/lint", false},
+		{FPOrder, "redcache/internal/lint/testdata/src/fporder", true},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Scope(c.path); got != c.want {
@@ -180,6 +197,15 @@ func TestDirectiveAudit(t *testing.T) {
 //redvet:units — properly justified
 //redvet:hotpath
 func f() {}
+
+//redvet:sharlocal — typo'd v3 marker
+//redvet:detsafe
+//redvet:mergepoint
+//redvet:fporder — v3 suppression, properly justified
+//redvet:detsafe — v3 suppression, properly justified
+//redvet:mergepoint — v3 marker-suppression hybrid, properly justified
+//redvet:shardlocal
+type q struct{}
 `
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
@@ -194,14 +220,20 @@ func f() {}
 	}
 	ds := auditDirectives(pkg)
 	sortDiagnostics(ds)
-	if len(ds) != 2 {
-		t.Fatalf("got %d findings, want 2: %v", len(ds), ds)
+	want := []string{
+		`unknown redvet directive "orderd"`,
+		"//redvet:wallclock needs a justification",
+		`unknown redvet directive "sharlocal"`,
+		"//redvet:detsafe needs a justification",
+		"//redvet:mergepoint needs a justification",
 	}
-	if !strings.Contains(ds[0].Message, `unknown redvet directive "orderd"`) {
-		t.Errorf("finding 0 = %q, want unknown-directive", ds[0].Message)
+	if len(ds) != len(want) {
+		t.Fatalf("got %d findings, want %d: %v", len(ds), len(want), ds)
 	}
-	if !strings.Contains(ds[1].Message, "//redvet:wallclock needs a justification") {
-		t.Errorf("finding 1 = %q, want missing-justification", ds[1].Message)
+	for i, w := range want {
+		if !strings.Contains(ds[i].Message, w) {
+			t.Errorf("finding %d = %q, want %q", i, ds[i].Message, w)
+		}
 	}
 }
 

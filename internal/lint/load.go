@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"sync"
 )
 
 // Package is one loaded, parsed and type-checked package.
@@ -125,17 +126,78 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		return os.Open(f)
 	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
+	imp := &lockedImporter{imp: importer.ForCompiler(fset, "gc", lookup)}
 
-	var pkgs []*Package
-	for _, w := range wanted {
-		pkg, err := typecheck(fset, imp, w)
-		if err != nil {
-			return nil, err
+	// Parse and type-check level-parallel across the dependency DAG:
+	// packages in the same level share no dependency edge, so they can
+	// check concurrently once every earlier level is done.  The result
+	// slice is indexed by the original (dependency-sorted) position, so
+	// the returned order — and everything downstream of it, including
+	// fact computation and the -factcache bytes — is identical to a
+	// sequential load.
+	pkgs := make([]*Package, len(wanted))
+	errs := make([]error, len(wanted))
+	for _, level := range dependencyLevels(wanted) {
+		var wg sync.WaitGroup
+		for _, i := range level {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				pkgs[i], errs[i] = typecheck(fset, imp, wanted[i])
+			}(i)
 		}
-		pkgs = append(pkgs, pkg)
+		wg.Wait()
+		// Surface the lowest-index failure of the level so repeated runs
+		// over a broken tree report the same error.
+		for _, i := range level {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
 	}
 	return pkgs, nil
+}
+
+// dependencyLevels groups indices into wanted by dependency depth
+// within the load set: level 0 packages import no other loaded
+// package, level n+1 packages import at least one level-n package.
+// wanted must be sorted so dependencies precede dependents (go list's
+// transitive Deps guarantees a dependency has strictly fewer deps).
+func dependencyLevels(wanted []*listedPackage) [][]int {
+	idx := make(map[string]int, len(wanted))
+	for i, w := range wanted {
+		idx[w.ImportPath] = i
+	}
+	depth := make([]int, len(wanted))
+	var levels [][]int
+	for i, w := range wanted {
+		d := 0
+		for _, dep := range w.Deps {
+			if j, ok := idx[dep]; ok && j < i && depth[j]+1 > d {
+				d = depth[j] + 1
+			}
+		}
+		depth[i] = d
+		for len(levels) <= d {
+			levels = append(levels, nil)
+		}
+		levels[d] = append(levels[d], i)
+	}
+	return levels
+}
+
+// lockedImporter serializes Import calls: the gc export-data importer
+// mutates its internal package cache and is not safe for concurrent
+// use, while token.FileSet and the type-checker around it are.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.Import(path)
 }
 
 // generatedRe matches the standard generated-file marker

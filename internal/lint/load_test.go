@@ -96,6 +96,58 @@ func TestLoadHonorsBuildTags(t *testing.T) {
 	}
 }
 
+// TestDependencyLevels pins the level partition the parallel loader
+// runs on: a package lands one level above its deepest loaded
+// dependency, unrelated packages share level 0, and the flattened
+// levels cover every index exactly once.
+func TestDependencyLevels(t *testing.T) {
+	wanted := []*listedPackage{
+		{ImportPath: "m/a", Deps: []string{"fmt"}},
+		{ImportPath: "m/b", Deps: []string{"fmt", "io", "os"}},
+		{ImportPath: "m/c", Deps: []string{"fmt", "io", "os", "sort", "m/a"}},
+		{ImportPath: "m/d", Deps: []string{"fmt", "io", "os", "sort", "strings", "m/a", "m/c"}},
+	}
+	levels := dependencyLevels(wanted)
+	want := [][]int{{0, 1}, {2}, {3}}
+	if len(levels) != len(want) {
+		t.Fatalf("got %d levels %v, want %v", len(levels), levels, want)
+	}
+	for i := range want {
+		if len(levels[i]) != len(want[i]) {
+			t.Fatalf("level %d = %v, want %v", i, levels[i], want[i])
+		}
+		for j := range want[i] {
+			if levels[i][j] != want[i][j] {
+				t.Fatalf("level %d = %v, want %v", i, levels[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLoadDeterministicOrder checks that the level-parallel loader
+// returns byte-identical package sequences across runs — the property
+// that keeps fact computation and the -factcache contents stable.
+func TestLoadDeterministicOrder(t *testing.T) {
+	order := func() []string {
+		pkgs, err := Load("../..", "./internal/lint/testdata/src/unitflow",
+			"./internal/lint/testdata/src/fporder")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var paths []string
+		for _, pkg := range pkgs {
+			paths = append(paths, pkg.Path)
+		}
+		return paths
+	}
+	first := order()
+	for run := 0; run < 2; run++ {
+		if got := order(); strings.Join(got, " ") != strings.Join(first, " ") {
+			t.Fatalf("run %d order %v, want %v", run+1, got, first)
+		}
+	}
+}
+
 // TestLoadDependencyOrder checks that in-module dependencies of a
 // pattern target are loaded (Target=false) and sorted before their
 // dependents, which the fact phases rely on.

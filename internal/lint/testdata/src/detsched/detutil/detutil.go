@@ -1,0 +1,12 @@
+// Package detutil is the dependency side of the detsched fixture: it
+// hides a goroutine launch behind an exported function, so the target
+// package can only catch the hazard through cross-package Nondet facts.
+package detutil
+
+// Fire launches work on an unordered goroutine (Nondet fact).
+func Fire(done chan struct{}) {
+	go func() { done <- struct{}{} }()
+}
+
+// Quiet is deterministic: no Nondet fact, callers stay clean.
+func Quiet() int { return 1 }

@@ -1,0 +1,86 @@
+// Package detsched is the fixture for the detsched analyzer: every
+// construct whose ordering the Go runtime (not the engine's (at, seq)
+// event queue) decides must be flagged, including hazards hidden behind
+// another package's exported function, and a justified detsafe
+// annotation must both silence the site and stop fact propagation.
+package detsched
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"redcache/internal/lint/testdata/src/detsched/detutil"
+)
+
+type ev struct {
+	at  int64
+	seq uint64
+}
+
+func goStmt(done chan struct{}) {
+	go func() { done <- struct{}{} }() // want `go statement`
+}
+
+func selectRace(a, b chan int) int {
+	select { // want `select over 2 channels`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// nonBlockingPoll is one ready case plus default — a deterministic
+// poll, not a race: clean.
+func nonBlockingPoll(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+func syncMap(m *sync.Map, k, v any) {
+	m.Store(k, v) // want `sync\.Map Store`
+}
+
+func bareAtomic(ctr *int64) {
+	atomic.AddInt64(ctr, 1) // want `bare sync/atomic\.AddInt64`
+}
+
+func fanIn(wg *sync.WaitGroup) {
+	wg.Wait() // want `WaitGroup fan-in`
+}
+
+func tieBreakMissing(a, b ev) bool {
+	return a.at < b.at // want `orders ev events by \.at alone`
+}
+
+// tieBreakPresent reads the seq field, so its .at comparison is the
+// sanctioned (at, seq) pattern: clean.
+func tieBreakPresent(a, b ev) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func crossPkg(done chan struct{}) {
+	detutil.Fire(done) // want `calls .*detutil\.Fire, which is scheduling-nondeterministic`
+}
+
+func crossPkgClean(done chan struct{}) int {
+	return detutil.Quiet()
+}
+
+func sanctioned(done chan struct{}) {
+	//redvet:detsafe — fixture: sanctioned fan-out, results merged deterministically by key
+	go func() { done <- struct{}{} }()
+}
+
+// callsSanctioned stays clean: the suppressed site above exports no
+// Nondet fact, so the annotation stops propagation at the fan-out.
+func callsSanctioned(done chan struct{}) {
+	sanctioned(done)
+}

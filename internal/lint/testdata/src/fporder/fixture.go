@@ -1,0 +1,81 @@
+// Package fporder is the fixture for the fporder analyzer: float
+// accumulation must never consume a slice whose element order is not
+// provably deterministic — a map-range gather without a sort, or an
+// unordered result from another package — and a sort anywhere in the
+// function restores determinism.
+package fporder
+
+import (
+	"sort"
+
+	"redcache/internal/lint/testdata/src/fporder/fputil"
+)
+
+func gatherThenReduce(m map[int]float64) float64 {
+	var xs []float64
+	for _, v := range m {
+		xs = append(xs, v)
+	}
+	s := 0.0
+	for _, v := range xs { // want `reduces xs in nondeterministic order`
+		s += v
+	}
+	return s
+}
+
+// gatherSortReduce sorts before reducing: clean.
+func gatherSortReduce(m map[int]float64) float64 {
+	var xs []float64
+	for _, v := range m {
+		xs = append(xs, v)
+	}
+	sort.Float64s(xs)
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+func crossReturn(m map[int]float64) float64 {
+	xs := fputil.Latencies(m)
+	s := 0.0
+	for _, v := range xs { // want `reduces xs in nondeterministic order`
+		s += v
+	}
+	return s
+}
+
+func crossSink(m map[int]float64) float64 {
+	xs := fputil.Latencies(m)
+	return fputil.Mean(xs) // want `unordered slice xs reaches .*Mean parameter 0`
+}
+
+// sortedSink sorts the unordered result first: clean.
+func sortedSink(m map[int]float64) float64 {
+	xs := fputil.Latencies(m)
+	sort.Float64s(xs)
+	return fputil.Mean(xs)
+}
+
+func chanReduce(ch chan float64) float64 {
+	s := 0.0
+	for v := range ch { // want `reduces channel ch in arrival order`
+		s += v
+	}
+	return s
+}
+
+// intGather reduces an unordered slice with integer addition, which is
+// commutative: clean.
+func intGather(m map[int]int) int {
+	var xs []int
+	for _, v := range m {
+		xs = append(xs, v)
+	}
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,24 @@
+// Package fputil is the dependency side of the fporder fixture: it
+// launders map-iteration order through an exported return and hides a
+// float reduction behind an exported function, so the target package
+// can only catch either through cross-package facts.
+package fputil
+
+// Latencies gathers map values in randomized iteration order
+// (UnorderedReturn fact; callers must sort before reducing).
+func Latencies(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Mean reduces xs in iteration order (FloatReduceParam fact).
+func Mean(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}

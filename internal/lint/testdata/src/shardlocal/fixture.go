@@ -1,0 +1,66 @@
+// Package shardlocal is the fixture for the shardlocal analyzer: types
+// annotated //redvet:shardlocal must stay confined to one owning
+// component — no package-level variables, no pointer fields in foreign
+// structs, no channel sends or goroutine hand-offs, and cross-package
+// references only through //redvet:mergepoint functions.
+package shardlocal
+
+import "redcache/internal/lint/testdata/src/shardlocal/shardstate"
+
+// bank is this package's own confined per-shard state.
+//
+//redvet:shardlocal
+type bank struct {
+	rows []int
+	open int
+}
+
+var escaped bank // want `package-level var escaped reaches shard-local type bank`
+
+// controller owns its banks by value: clean.
+type controller struct {
+	banks []bank
+}
+
+// alias holds a pointer into another component's bank.
+type alias struct {
+	b *bank // want `aliases shard-local type bank`
+}
+
+func sendOut(ch chan *bank, b *bank) {
+	ch <- b // want `channel send carries shard-local bank`
+}
+
+//redvet:mergepoint — fixture: ordered hand-off at the shard boundary
+func mergeSend(ch chan *bank, b *bank) {
+	ch <- b
+}
+
+func spawn(b *bank) {
+	go func() { // want `goroutine closure captures shard-local bank`
+		b.open++
+	}()
+}
+
+func handOff(b *bank) {
+	go touch(b) // want `goroutine argument hands shard-local bank`
+}
+
+func touch(b *bank) { b.open++ }
+
+func leakRef(r *shardstate.Ring) {
+	stash(r) // want `passes shard-local Ring by reference to .*stash`
+}
+
+func stash(r *shardstate.Ring) { _ = r }
+
+//redvet:mergepoint — fixture: sanctioned deterministic cross-shard consumer
+func consume(r *shardstate.Ring) { _ = r }
+
+// mergeOK stays clean: the callee carries the Mergepoint fact.
+func mergeOK(r *shardstate.Ring) {
+	consume(r)
+}
+
+//redvet:shardlocal — stray annotation // want `not attached to a type declaration`
+var stray int

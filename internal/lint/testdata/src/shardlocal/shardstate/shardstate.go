@@ -1,0 +1,16 @@
+// Package shardstate is the dependency side of the shardlocal fixture:
+// it exports an annotated shard-local type, so the target package
+// exercises the cross-package reference rules through imported facts.
+package shardstate
+
+// Ring is a per-shard FR-FCFS-style request ring, confined to its
+// owning channel shard.
+//
+//redvet:shardlocal
+type Ring struct {
+	buf  []uint64
+	head int
+}
+
+// Push is the owning package's own plumbing (same package as Ring).
+func (r *Ring) Push(v uint64) { r.buf = append(r.buf, v) }

@@ -26,23 +26,28 @@ func benchTrace() *Trace {
 	return t
 }
 
-// BenchmarkTraceRoundTrip measures the binary codec: one op encodes the
-// whole trace to a reused buffer and decodes it back.
+// BenchmarkTraceRoundTrip measures the binary codec in steady state:
+// one op encodes the whole trace to a reused buffer and decodes it
+// back through reused Encoder/Decoder instances, the shape redbench
+// and any sweep harness replaying traces actually runs in.
 func BenchmarkTraceRoundTrip(b *testing.B) {
 	t := benchTrace()
+	enc, dec := NewEncoder(), NewDecoder()
 	var buf bytes.Buffer
-	if err := Encode(&buf, t); err != nil {
+	if err := enc.Encode(&buf, t); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(buf.Len()))
+	rd := bytes.NewReader(buf.Bytes())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf.Reset()
-		if err := Encode(&buf, t); err != nil {
+		if err := enc.Encode(&buf, t); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := Decode(bytes.NewReader(buf.Bytes())); err != nil {
+		rd.Reset(buf.Bytes())
+		if _, err := dec.Decode(rd); err != nil {
 			b.Fatal(err)
 		}
 	}

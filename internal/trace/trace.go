@@ -163,29 +163,49 @@ const (
 	recBatch = 512
 )
 
+// Encoder writes traces in the binary format.  Its bufio.Writer and
+// record-batch chunk are reused across Encode calls, so steady-state
+// encoding (redbench loops, sweep harnesses re-emitting traces) does
+// not allocate.  An Encoder is not safe for concurrent use.
+type Encoder struct {
+	bw *bufio.Writer
+	// scratch backs the fixed-size header and count writes; a local
+	// array would escape through the io.Writer interface and cost one
+	// heap allocation per write.
+	scratch [8]byte
+	chunk   [recSize * recBatch]byte
+}
+
+// NewEncoder returns an Encoder with its buffers preallocated.
+func NewEncoder() *Encoder { return &Encoder{bw: bufio.NewWriter(nil)} }
+
 // Encode writes t to w in the binary trace format.
-func Encode(w io.Writer, t *Trace) error {
-	bw := bufio.NewWriter(w)
+func Encode(w io.Writer, t *Trace) error { return NewEncoder().Encode(w, t) }
+
+// Encode writes t to w, reusing the Encoder's internal buffers.  The
+// output bytes are identical to the package-level Encode.
+func (e *Encoder) Encode(w io.Writer, t *Trace) error {
+	bw := e.bw
+	bw.Reset(w)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
 	if len(t.Name) > 65535 {
 		return errors.New("trace: name too long")
 	}
-	var hdr [6]byte
+	hdr := e.scratch[:6]
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(t.Streams)))
 	binary.LittleEndian.PutUint16(hdr[4:], uint16(len(t.Name)))
-	if _, err := bw.Write(hdr[:]); err != nil {
+	if _, err := bw.Write(hdr); err != nil {
 		return err
 	}
 	if _, err := bw.WriteString(t.Name); err != nil {
 		return err
 	}
-	var chunk [recSize * recBatch]byte
 	for _, s := range t.Streams {
-		var cnt [8]byte
-		binary.LittleEndian.PutUint64(cnt[:], uint64(len(s)))
-		if _, err := bw.Write(cnt[:]); err != nil {
+		cnt := e.scratch[:8]
+		binary.LittleEndian.PutUint64(cnt, uint64(len(s)))
+		if _, err := bw.Write(cnt); err != nil {
 			return err
 		}
 		for off := 0; off < len(s); off += recBatch {
@@ -194,7 +214,7 @@ func Encode(w io.Writer, t *Trace) error {
 				n = recBatch
 			}
 			for i, r := range s[off : off+n] {
-				rec := chunk[i*recSize:]
+				rec := e.chunk[i*recSize:]
 				binary.LittleEndian.PutUint16(rec[0:2], r.Gap)
 				if r.Write {
 					rec[2] = 1
@@ -203,7 +223,7 @@ func Encode(w io.Writer, t *Trace) error {
 				}
 				binary.LittleEndian.PutUint64(rec[3:recSize], uint64(r.Addr))
 			}
-			if _, err := bw.Write(chunk[:n*recSize]); err != nil {
+			if _, err := bw.Write(e.chunk[:n*recSize]); err != nil {
 				return err
 			}
 		}
@@ -211,18 +231,47 @@ func Encode(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// Decode reads a trace in the binary format produced by Encode.
-func Decode(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
+// Decoder reads traces in the binary format.  The bufio.Reader, the
+// record-batch chunk, and — critically for the round-trip cost — the
+// per-stream backing arrays are all reused across Decode calls, so
+// decoding the same-shaped trace repeatedly settles to a handful of
+// small allocations instead of re-growing megabytes of records each
+// time.  A Decoder is not safe for concurrent use.
+type Decoder struct {
+	br *bufio.Reader
+	// scratch backs the fixed-size header and count reads; a local
+	// array would escape through the io.Reader interface and cost one
+	// heap allocation per read.
+	scratch [8]byte
+	chunk   [recSize * recBatch]byte
+	streams []Stream
+	name    []byte
+	trace   Trace
+}
+
+// NewDecoder returns a Decoder with its buffers preallocated.
+func NewDecoder() *Decoder { return &Decoder{br: bufio.NewReader(nil)} }
+
+// Decode reads a trace in the binary format produced by Encode.  The
+// returned Trace is freshly allocated and owned by the caller.
+func Decode(r io.Reader) (*Trace, error) { return NewDecoder().Decode(r) }
+
+// Decode reads a trace from r into the Decoder's reused buffers.  The
+// returned Trace and its streams are owned by the Decoder and are only
+// valid until the next Decode call; callers that keep records past
+// that point must copy them out.
+func (d *Decoder) Decode(r io.Reader) (*Trace, error) {
+	br := d.br
+	br.Reset(r)
+	m := d.scratch[:4]
+	if _, err := io.ReadFull(br, m); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if m != magic {
+	if [4]byte(m) != magic {
 		return nil, errors.New("trace: bad magic")
 	}
-	var hdr [6]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	hdr := d.scratch[:6]
+	if _, err := io.ReadFull(br, hdr); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", truncated(err))
 	}
 	cores := binary.LittleEndian.Uint32(hdr[:4])
@@ -230,18 +279,24 @@ func Decode(r io.Reader) (*Trace, error) {
 	if cores > 1<<16 {
 		return nil, fmt.Errorf("trace: implausible core count %d", cores)
 	}
-	name := make([]byte, nameLen)
+	if cap(d.name) < int(nameLen) {
+		d.name = make([]byte, nameLen)
+	}
+	name := d.name[:nameLen]
 	if _, err := io.ReadFull(br, name); err != nil {
 		return nil, fmt.Errorf("trace: reading name: %w", truncated(err))
 	}
-	t := &Trace{Name: string(name), Streams: make([]Stream, cores)}
-	var chunk [recSize * recBatch]byte
+	if cap(d.streams) < int(cores) {
+		d.streams = make([]Stream, cores)
+	}
+	d.trace = Trace{Name: string(name), Streams: d.streams[:cores]}
+	t := &d.trace
 	for i := range t.Streams {
-		var cnt [8]byte
-		if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		cnt := d.scratch[:8]
+		if _, err := io.ReadFull(br, cnt); err != nil {
 			return nil, fmt.Errorf("trace: reading stream %d count: %w", i, truncated(err))
 		}
-		n := binary.LittleEndian.Uint64(cnt[:])
+		n := binary.LittleEndian.Uint64(cnt)
 		if n > 1<<32 {
 			return nil, fmt.Errorf("trace: implausible record count %d", n)
 		}
@@ -249,16 +304,20 @@ func Decode(r io.Reader) (*Trace, error) {
 		// declared count: a corrupt or hostile header can claim 2^32
 		// records, and preallocating that would be a 60+ GB allocation
 		// before the first truncated read is ever noticed.  The initial
-		// capacity covers any honest small trace in one shot.
-		s := make(Stream, 0, min64(n, 1<<16))
+		// capacity covers any honest small trace in one shot, and a
+		// previous Decode's backing array is reused when large enough.
+		s := t.Streams[i][:0]
+		if cap(s) == 0 {
+			s = make(Stream, 0, min64(n, 1<<16))
+		}
 		for off := uint64(0); off < n; off += recBatch {
 			k := int(min64(n-off, recBatch))
-			if _, err := io.ReadFull(br, chunk[:k*recSize]); err != nil {
+			if _, err := io.ReadFull(br, d.chunk[:k*recSize]); err != nil {
 				return nil, fmt.Errorf("trace: stream %d truncated at record %d of %d: %w",
 					i, off, n, truncated(err))
 			}
 			for j := 0; j < k; j++ {
-				rec := chunk[j*recSize:]
+				rec := d.chunk[j*recSize:]
 				s = append(s, Record{
 					Gap:   binary.LittleEndian.Uint16(rec[0:2]),
 					Write: rec[2] != 0,
