@@ -4,10 +4,18 @@
 // Usage:
 //
 //	redsim -workload LU -arch RedCache [-scale default] [-seed 1]
+//	       [-shards auto|N]
 //	       [-faults default -faultseed 1] [-invariants [-invperiod 10000]]
 //	       [-maxcycles N]
 //	       [-telemetry out/ -epoch 100000 [-events]]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace run.trace]
+//
+// -shards selects the sharded event engine: the run is partitioned by
+// DRAM-channel locality and channel shards execute on N worker threads
+// ("auto" = GOMAXPROCS).  The sharded schedule is deterministic by
+// construction — any positive N (including 1) produces byte-identical
+// results; N only decides how many OS threads execute it.  0 (the
+// default) keeps the classic serial engine.
 //
 // -faults enables deterministic fault injection: "default" (or "on")
 // uses the paper-motivated default rates, "off" disables, and a
@@ -68,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		arch      = fs.String("arch", "RedCache", "architecture: NoHBM, Ideal, Alloy, Bear, Red-Alpha, Red-Gamma, Red-Basic, Red-InSitu, RedCache")
 		scale     = fs.String("scale", "default", "problem size: tiny, small or default")
 		seed      = fs.Int64("seed", 1, "workload PRNG seed")
+		shards    = fs.String("shards", "0", "sharded-engine workers: auto, or N (0 = classic serial engine)")
 		cores     = fs.Int("cores", 0, "override core count (0 = config default)")
 		faults    = fs.String("faults", "off", "fault injection spec: off, default, or k=v list (tag, tagescape, rcount, data, row, bus)")
 		faultSeed = fs.Int64("faultseed", 1, "fault-injection PRNG seed (independent of -seed)")
@@ -109,6 +118,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return usage(err)
 	}
+	shardWorkers, err := parseShards(*shards)
+	if err != nil {
+		return usage(err)
+	}
 	fc.Seed = *faultSeed
 	if *invPeriod <= 0 {
 		return usage(fmt.Errorf("-invperiod must be positive, got %d", *invPeriod))
@@ -146,8 +159,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := &sim.Options{
-		Faults:    &fc,
-		MaxCycles: *maxCycles,
+		Faults:       &fc,
+		MaxCycles:    *maxCycles,
+		ShardWorkers: shardWorkers,
 	}
 	if *invar {
 		opts.InvariantCycles = *invPeriod
@@ -231,6 +245,20 @@ func report(w io.Writer, cfg *config.System, spec workloads.Spec, sc workloads.S
 		stats.Fmt(res.Ctl.LastWriteShare()))
 	fmt.Fprintf(w, "energy: HBM cache %.4f J, system %.4f J\n",
 		res.Energy.HBMCache(), res.Energy.System())
+}
+
+// parseShards maps the -shards spec to Options.ShardWorkers: "auto"
+// resolves to GOMAXPROCS, a non-negative integer passes through (0 =
+// classic serial engine).
+func parseShards(s string) (int, error) {
+	if s == "auto" {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	n := 0
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid -shards %q (want auto or a non-negative integer)", s)
+	}
+	return n, nil
 }
 
 func parseScale(s string) (workloads.Scale, error) {

@@ -38,6 +38,8 @@ func TestUsageErrorsExitTwo(t *testing.T) {
 		{"-invperiod", "0"},
 		{"-maxcycles", "-1"},
 		{"-events"}, // -events without -telemetry
+		{"-shards", "bogus"},
+		{"-shards", "-2"},
 	}
 	for _, args := range cases {
 		code, _, stderr := runCLI(args...)
@@ -112,6 +114,37 @@ func TestFaultedRunDeterministic(t *testing.T) {
 	}
 	if stripWall(first) == stripWall(other) {
 		t.Error("different fault seeds produced identical reports")
+	}
+}
+
+// TestShardedCLIByteIdentity pins the acceptance criterion at the CLI
+// surface: -shards 4 and -shards 1 (and auto) print byte-identical
+// reports, with faults off and on, and the sharded runs stay
+// byte-reproducible run to run.
+func TestShardedCLIByteIdentity(t *testing.T) {
+	for _, faults := range [][]string{nil, {"-faults", "default", "-faultseed", "7"}} {
+		base := append([]string{"-scale", "tiny", "-cores", "4", "-invariants"}, faults...)
+		code, ref, stderr := runCLI(append(base, "-shards", "1")...)
+		if code != 0 {
+			t.Fatalf("-shards 1 %v: exit %d, stderr %q", faults, code, stderr)
+		}
+		for _, n := range []string{"4", "auto"} {
+			code, got, stderr := runCLI(append(base, "-shards", n)...)
+			if code != 0 {
+				t.Fatalf("-shards %s %v: exit %d, stderr %q", n, faults, code, stderr)
+			}
+			if stripWall(got) != stripWall(ref) {
+				t.Errorf("-shards %s diverged from -shards 1 (faults %v):\n--- shards 1 ---\n%s\n--- shards %s ---\n%s",
+					n, faults, ref, n, got)
+			}
+		}
+		code, again, _ := runCLI(append(base, "-shards", "4")...)
+		if code != 0 {
+			t.Fatal("repeat sharded run failed")
+		}
+		if code, first, _ := runCLI(append(base, "-shards", "4")...); code != 0 || stripWall(first) != stripWall(again) {
+			t.Errorf("repeated -shards 4 runs diverged (faults %v)", faults)
+		}
 	}
 }
 

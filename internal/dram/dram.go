@@ -173,6 +173,31 @@ type channel struct {
 	// later ones, whose stale events are dropped on firing).
 	hasPending bool
 	pendingAt  int64
+
+	// eng is the engine the channel's scheduling events run on: the
+	// controller's engine normally, the owning shard's engine once
+	// SetSharding routed the channel to its own shard.
+	eng *engine.Engine
+	// shard is the cross-shard posting handle (nil when unsharded);
+	// shardIdx is the channel's shard index in the Sharded run.
+	shard    *engine.Shard
+	shardIdx int
+	// iface receives the channel's traffic counters: the controller's
+	// shared interface normally, the private shadow when sharded (folded
+	// into the shared interface at every window barrier, in channel
+	// order, so the totals are schedule-independent).
+	iface  *stats.Interface
+	shadow stats.Interface
+	// inj is the channel's fault source: the controller's shared
+	// injector normally, a per-channel derived view when sharded (so
+	// parallel channels never race on one PRNG stream).
+	inj *fault.Injector
+	// pool recycles Txn structs channel-locally; see getTxn.
+	pool []*Txn
+	// handoff buffers transactions staged by shard 0 until the matching
+	// arrival event (posted through the mergepoint) pops them on the
+	// owning shard.  Push and pop run in alternating phases.
+	handoff txnQueue
 }
 
 // WriteHook is consulted when a write column command is issued.  It
@@ -203,16 +228,18 @@ type Controller struct {
 	// inj injects row-activation failures and transient bus errors into
 	// the command schedule; nil (the default) costs one check per site.
 	inj *fault.Injector
+	// sharded is set once SetSharding routed the channels to their own
+	// shards; nil keeps every path on the classic single-engine plan.
+	sharded *engine.Sharded
 
-	// txnPool recycles Txn structs: a transaction's fields are dead once
-	// issue() returns (the completion callback is copied into the engine
-	// event, observers run synchronously), so the slot goes back on the
-	// free list instead of to the garbage collector.
-	txnPool []*Txn
 	// wakeFn is the single scheduling-decision callback shared by all
 	// channels; the channel index travels as the event's fixed argument,
 	// so a wake never allocates a closure.
 	wakeFn func(arg uint64)
+	// arriveFn is the shared arrival callback for sharded hand-off: it
+	// pops the next staged transaction off the channel's hand-off ring
+	// on the owning shard.
+	arriveFn func(arg uint64)
 
 	// MaxQueue bounds the per-channel transaction queue; Enqueue panics
 	// beyond it to catch upstream flow-control bugs.
@@ -242,6 +269,8 @@ func NewController(eng *engine.Engine, cfg config.DRAM, iface *stats.Interface) 
 	c.chans = make([]channel, g.Channels)
 	for i := range c.chans {
 		ch := &c.chans[i]
+		ch.eng = eng
+		ch.iface = iface
 		ch.ranks = make([]rank, g.RanksPerChan)
 		for r := range ch.ranks {
 			rk := &ch.ranks[r]
@@ -271,23 +300,39 @@ func NewController(eng *engine.Engine, cfg config.DRAM, iface *stats.Interface) 
 		// pendingAt, and the engine guarantees Now() equals the firing
 		// time, so this is the same stale-event check the closure-based
 		// implementation captured per event.
-		if !ch.hasPending || ch.pendingAt != c.eng.Now() {
+		if !ch.hasPending || ch.pendingAt != ch.eng.Now() {
 			return // superseded
 		}
 		ch.hasPending = false
 		c.trySchedule(chIdx)
 	}
+	c.arriveFn = func(arg uint64) {
+		chIdx := int(arg)
+		ch := &c.chans[chIdx]
+		t := ch.handoff.at(0)
+		ch.handoff.removeAt(0)
+		if ch.rdq.len()+ch.wrq.len() >= c.MaxQueue {
+			panic("dram: transaction queue overflow (missing upstream flow control)")
+		}
+		ch.queuePush(t)
+		c.kick(chIdx)
+	}
 	return c
 }
 
-// getTxn takes a transaction slot from the free list (or allocates one
-// on a cold start).
+// getTxn takes a transaction slot from the channel's free list (or
+// allocates one on a cold start).  Pools are per channel so a sharded
+// run's parallel putTxn calls stay confined to their owners; a
+// transaction's fields are dead once issue() returns (the completion
+// callback is copied into the engine event, observers run
+// synchronously), so the slot goes back on the free list instead of to
+// the garbage collector.
 //
 //redvet:hotpath
-func (c *Controller) getTxn() *Txn {
-	if n := len(c.txnPool); n > 0 {
-		t := c.txnPool[n-1]
-		c.txnPool = c.txnPool[:n-1]
+func (ch *channel) getTxn() *Txn {
+	if n := len(ch.pool); n > 0 {
+		t := ch.pool[n-1]
+		ch.pool = ch.pool[:n-1]
 		*t = Txn{}
 		return t
 	}
@@ -305,22 +350,33 @@ func newTxn() *Txn { return new(Txn) }
 // reached the in-flight high-water mark.
 //
 //redvet:hotpath
-func (c *Controller) putTxn(t *Txn) {
-	if len(c.txnPool) == cap(c.txnPool) {
-		c.growPool()
+func (ch *channel) putTxn(t *Txn) {
+	if len(ch.pool) == cap(ch.pool) {
+		ch.growPool()
 	}
-	n := len(c.txnPool)
-	c.txnPool = c.txnPool[:n+1]
-	c.txnPool[n] = t
+	n := len(ch.pool)
+	ch.pool = ch.pool[:n+1]
+	ch.pool[n] = t
 }
 
 // growPool grows the free list's backing array.
 //
 //redvet:coldstart — amortized free-list growth up to the in-flight high-water mark
-func (c *Controller) growPool() {
-	grown := make([]*Txn, len(c.txnPool), max(16, 2*cap(c.txnPool)))
-	copy(grown, c.txnPool)
-	c.txnPool = grown
+func (ch *channel) growPool() {
+	grown := make([]*Txn, len(ch.pool), max(16, 2*cap(ch.pool)))
+	copy(grown, ch.pool)
+	ch.pool = grown
+}
+
+// queuePush routes a transaction into the channel's read or write queue.
+//
+//redvet:hotpath
+func (ch *channel) queuePush(t *Txn) {
+	if t.Op == OpWrite && !t.Prio {
+		ch.wrq.push(t)
+	} else {
+		ch.rdq.push(t)
+	}
 }
 
 // SetWriteHook installs the RCU piggyback hook.
@@ -339,7 +395,73 @@ type Observer func(t *Txn, rowHit bool, cycles int64)
 func (c *Controller) SetObserver(o Observer) { c.observer = o }
 
 // SetFaultInjector installs the fault source (nil disables injection).
-func (c *Controller) SetFaultInjector(inj *fault.Injector) { c.inj = inj }
+func (c *Controller) SetFaultInjector(inj *fault.Injector) {
+	c.inj = inj
+	for i := range c.chans {
+		c.chans[i].inj = inj
+	}
+}
+
+// Channels reports the channel count (the number of shards this
+// controller occupies when sharded).
+func (c *Controller) Channels() int { return len(c.chans) }
+
+// Shardable reports whether the controller's channels can run on their
+// own shards: hooks and observers couple channel scheduling to shard-0
+// components (the RCU manager piggybacks and reenters the enqueue path;
+// the Fig-3 observer mutates a shard-0 histogram inside issue()), so a
+// controller carrying any of them stays pinned to shard 0.
+func (c *Controller) Shardable() bool {
+	return c.writeHook == nil && c.idleHook == nil && c.observer == nil
+}
+
+// SetSharding routes each channel's command scheduling through its own
+// shard of shd — channel i runs on shard first+i.  Must be called after
+// every hook, observer, and fault injector is installed and before any
+// transaction is enqueued; it reports false (leaving the controller on
+// the classic single-engine plan) when the controller is not Shardable.
+//
+// Sharded channels accumulate traffic into private shadow interfaces
+// and draw faults from per-channel injector views; both are folded into
+// the shared counters at every window barrier in fixed channel order by
+// the hook this registers, so the run's totals are independent of the
+// worker count.
+func (c *Controller) SetSharding(shd *engine.Sharded, first int) bool {
+	if !c.Shardable() {
+		return false
+	}
+	c.sharded = shd
+	for i := range c.chans {
+		ch := &c.chans[i]
+		ch.shardIdx = first + i
+		ch.shard = shd.Shard(ch.shardIdx)
+		ch.eng = ch.shard.Engine()
+		ch.iface = &ch.shadow
+		ch.inj = c.inj.DeriveView(uint64(ch.shardIdx))
+	}
+	shd.OnWindowEnd(c.foldShadows)
+	return true
+}
+
+// foldShadows folds every channel's window-local statistics into the
+// shared interface, and the fault views' counters into the parent
+// injector, in fixed channel order.  Runs on the coordinator at window
+// barriers, when every shard is quiescent.
+func (c *Controller) foldShadows() {
+	for i := range c.chans {
+		ch := &c.chans[i]
+		sh := &ch.shadow
+		c.iface.ReadBytes += sh.ReadBytes
+		c.iface.WriteBytes += sh.WriteBytes
+		c.iface.BusyCycles += sh.BusyCycles
+		c.iface.RowHits += sh.RowHits
+		c.iface.RowMisses += sh.RowMisses
+		c.iface.Activates += sh.Activates
+		c.iface.Refreshes += sh.Refreshes
+		ch.shadow = stats.Interface{}
+		c.inj.FoldStats(ch.inj)
+	}
+}
 
 // Interface exposes the traffic statistics this controller accumulates
 // (the RedCache α controller reads bus utilization from it).
@@ -371,9 +493,7 @@ func (c *Controller) Map(addr mem.Addr) Location {
 //
 //redvet:hotpath
 func (c *Controller) Read(addr mem.Addr, bytes int, onDone func(int64)) {
-	t := c.getTxn()
-	t.Addr, t.Op, t.Bytes, t.onDone = addr, OpRead, bytes, onDone
-	c.enqueue(t)
+	c.enqueue(addr, OpRead, bytes, false, onDone)
 }
 
 // Write enqueues a write of `bytes` at addr; onDone (optional) fires when
@@ -381,9 +501,7 @@ func (c *Controller) Read(addr mem.Addr, bytes int, onDone func(int64)) {
 //
 //redvet:hotpath
 func (c *Controller) Write(addr mem.Addr, bytes int, onDone func(int64)) {
-	t := c.getTxn()
-	t.Addr, t.Op, t.Bytes, t.onDone = addr, OpWrite, bytes, onDone
-	c.enqueue(t)
+	c.enqueue(addr, OpWrite, bytes, false, onDone)
 }
 
 // WritePriority enqueues a write that is scheduled in arrival order with
@@ -392,9 +510,7 @@ func (c *Controller) Write(addr mem.Addr, bytes int, onDone func(int64)) {
 //
 //redvet:hotpath
 func (c *Controller) WritePriority(addr mem.Addr, bytes int, onDone func(int64)) {
-	t := c.getTxn()
-	t.Addr, t.Op, t.Bytes, t.Prio, t.onDone = addr, OpWrite, bytes, true, onDone
-	c.enqueue(t)
+	c.enqueue(addr, OpWrite, bytes, true, onDone)
 }
 
 // Write-drain watermarks: reads are served first; queued writes drain
@@ -435,32 +551,43 @@ func (c *Controller) Refreshing(addr mem.Addr) bool {
 	return c.eng.Now() < ch.refreshEnd
 }
 
+// enqueue stages one transaction.  Always called on shard 0 (the L3 /
+// cache-controller side); when the controller is sharded it hands the
+// transaction to the owning channel's shard through the hand-off ring
+// plus an arrival event posted at the current cycle, which the window
+// plan merges into the channel's heap before its phase of the same
+// window — so arrival order and arrival cycle match the classic plan.
+//
 //redvet:hotpath
-func (c *Controller) enqueue(t *Txn) {
+func (c *Controller) enqueue(addr mem.Addr, op Op, bytes int, prio bool, onDone func(int64)) {
 	// Sub-block sizes model masked/burst-chopped writes (e.g. 8 B r-count
 	// updates into the spare ECC bits); anything larger moves whole 64 B
 	// blocks.
-	if t.Bytes <= 0 || (t.Bytes > mem.BlockSize && t.Bytes%mem.BlockSize != 0) {
-		panic(fmt.Sprintf("dram: invalid transaction size %d", t.Bytes))
+	if bytes <= 0 || (bytes > mem.BlockSize && bytes%mem.BlockSize != 0) {
+		panic(fmt.Sprintf("dram: invalid transaction size %d", bytes))
 	}
+	loc := c.Map(addr)
+	ch := &c.chans[loc.Channel]
+	t := ch.getTxn()
+	t.Addr, t.Op, t.Bytes, t.Prio, t.onDone = addr, op, bytes, prio, onDone
 	t.Arrive = c.eng.Now()
-	t.Loc = c.Map(t.Addr)
-	ch := &c.chans[t.Loc.Channel]
+	t.Loc = loc
+	c.iface.Requests++
+	if c.sharded != nil {
+		ch.handoff.push(t)
+		c.sharded.PostArg(ch.shardIdx, t.Arrive, c.arriveFn, uint64(loc.Channel))
+		return
+	}
 	if ch.rdq.len()+ch.wrq.len() >= c.MaxQueue {
 		panic("dram: transaction queue overflow (missing upstream flow control)")
 	}
-	if t.Op == OpWrite && !t.Prio {
-		ch.wrq.push(t)
-	} else {
-		ch.rdq.push(t)
-	}
-	c.iface.Requests++
-	c.kick(t.Loc.Channel)
+	ch.queuePush(t)
+	c.kick(loc.Channel)
 }
 
 //redvet:hotpath
 func (c *Controller) kick(chIdx int) {
-	c.wake(chIdx, c.eng.Now())
+	c.wake(chIdx, c.chans[chIdx].eng.Now())
 }
 
 // wake arranges for a scheduling decision on the channel at cycle `at`.
@@ -471,7 +598,7 @@ func (c *Controller) kick(chIdx int) {
 //redvet:hotpath
 func (c *Controller) wake(chIdx int, at int64) {
 	ch := &c.chans[chIdx]
-	if now := c.eng.Now(); at < now {
+	if now := ch.eng.Now(); at < now {
 		at = now
 	}
 	if ch.hasPending && ch.pendingAt <= at {
@@ -479,7 +606,7 @@ func (c *Controller) wake(chIdx int, at int64) {
 	}
 	ch.hasPending = true
 	ch.pendingAt = at
-	c.eng.ScheduleArg(at, c.wakeFn, uint64(chIdx))
+	ch.eng.ScheduleArg(at, c.wakeFn, uint64(chIdx))
 }
 
 // readyAt returns the cycle at which t's *first* DRAM command (precharge
@@ -574,7 +701,7 @@ const commitHorizon = 8
 //redvet:hotpath
 func (c *Controller) trySchedule(chIdx int) {
 	ch := &c.chans[chIdx]
-	now := c.eng.Now()
+	now := ch.eng.Now()
 
 	if ch.rdq.len()+ch.wrq.len() == 0 {
 		if c.idleHook != nil {
@@ -613,7 +740,7 @@ func (c *Controller) trySchedule(chIdx int) {
 		ch.drainBudget--
 	}
 	c.issue(ch, t, now)
-	c.putTxn(t)
+	ch.putTxn(t)
 	c.wake(chIdx, now+1)
 }
 
@@ -631,9 +758,9 @@ func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
 	rowHit := b.openRow == t.Loc.Row
 	if rowHit {
 		colReady = max(now, b.actAt+tm.TRCD)
-		c.iface.RowHits++
+		ch.iface.RowHits++
 	} else {
-		c.iface.RowMisses++
+		ch.iface.RowMisses++
 		// Precharge (if a row is open), respecting tRAS/tRTP/tWR.
 		preAt := now
 		if b.openRow >= 0 {
@@ -643,11 +770,11 @@ func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
 		actAt := max(preAt+boolTo64(b.openRow >= 0)*tm.TRP,
 			b.rcReady, b.readyAt, rk.lastAct+tm.TRRD,
 			rk.actHist[rk.actIdx]+tm.TFAW)
-		if c.inj.RowActivate(t.Loc.Channel, t.Loc.Rank, t.Loc.Bank, t.Loc.Row) {
+		if ch.inj.RowActivate(t.Loc.Channel, t.Loc.Rank, t.Loc.Bank, t.Loc.Row) {
 			// The activation failed (detected by the die): retry after a
 			// fresh precharge-activate cycle, charging the extra command.
 			actAt += tm.TRP + tm.TRCD
-			c.iface.Activates++
+			ch.iface.Activates++
 		}
 		b.actAt = actAt
 		b.rcReady = actAt + tm.TRC
@@ -655,7 +782,7 @@ func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
 		rk.lastAct = actAt
 		rk.actHist[rk.actIdx] = actAt
 		rk.actIdx = (rk.actIdx + 1) % 4
-		c.iface.Activates++
+		ch.iface.Activates++
 		colReady = actAt + tm.TRCD
 	}
 
@@ -690,10 +817,10 @@ func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
 			// Piggybacked same-row RCU updates extend the transfer
 			// instead of paying a new turnaround.
 			burstCycles += busCycles(extra, tm.TBL)
-			c.iface.WriteBytes += int64(extra)
+			ch.iface.WriteBytes += int64(extra)
 		}
 	}
-	if c.inj.BusBurst(t.Loc.Channel, t.Bytes) {
+	if ch.inj.BusBurst(t.Loc.Channel, t.Bytes) {
 		// Link CRC caught a transient error: the whole burst (including
 		// any piggybacked bytes) is retransmitted, doubling its bus
 		// occupancy without moving extra payload.
@@ -708,12 +835,12 @@ func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
 	ch.busFreeAt = dataEnd
 	if t.Op == OpRead {
 		b.lastRdAt = cmdAt
-		c.iface.ReadBytes += int64(t.Bytes)
+		ch.iface.ReadBytes += int64(t.Bytes)
 	} else {
 		b.lastWrEnd = dataEnd
-		c.iface.WriteBytes += int64(t.Bytes)
+		ch.iface.WriteBytes += int64(t.Bytes)
 	}
-	c.iface.BusyCycles += burstCycles
+	ch.iface.BusyCycles += burstCycles
 
 	if c.observer != nil {
 		cost := burstCycles
@@ -724,9 +851,17 @@ func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
 	}
 
 	if t.onDone != nil {
-		// ScheduleTimed passes the firing cycle (== dataEnd) to onDone,
-		// storing the func value verbatim — no wrapper closure.
-		c.eng.ScheduleTimed(dataEnd, t.onDone)
+		if ch.shard != nil {
+			// Sharded: the completion belongs to shard 0.  dataEnd sits
+			// past the current window's end by the ShardWindow bound
+			// (asserted at post time), so the hand-off merges cleanly at
+			// the next barrier.
+			ch.shard.PostTimed(dataEnd, t.onDone)
+		} else {
+			// ScheduleTimed passes the firing cycle (== dataEnd) to onDone,
+			// storing the func value verbatim — no wrapper closure.
+			ch.eng.ScheduleTimed(dataEnd, t.onDone)
+		}
 	}
 	return dataStart
 }
@@ -734,7 +869,7 @@ func (c *Controller) issue(ch *channel, t *Txn, now int64) int64 {
 //redvet:hotpath
 func (c *Controller) doRefresh(chIdx int, ch *channel) {
 	tm := c.cfg.Timing
-	now := c.eng.Now()
+	now := ch.eng.Now()
 	end := now + tm.TRFC
 	ch.refreshEnd = end
 	ch.nextRefresh = now + tm.TREFI
@@ -747,7 +882,7 @@ func (c *Controller) doRefresh(chIdx int, ch *channel) {
 			b.readyAt = max(b.readyAt, end)
 		}
 	}
-	c.iface.Refreshes++
+	ch.iface.Refreshes++
 	c.wake(chIdx, end)
 }
 

@@ -46,6 +46,12 @@ type Engine struct {
 	// periodic can tell "only other periodics remain" apart from "real
 	// work is still pending" when deciding whether to auto-stop.
 	periodicTicks int
+	// extPending reports work queued *outside* this engine (other shards'
+	// heaps or unmerged inboxes when the engine is shard 0 of a Sharded
+	// run).  While set, an empty-but-for-periodics queue does not mean the
+	// run is over, so periodic auto-stop and the trailing-tick frozen
+	// clock are both suppressed.  Always false in single-engine runs.
+	extPending bool
 }
 
 // New returns an empty engine at cycle 0.
@@ -168,6 +174,18 @@ func (e *Engine) checkTime(at int64) {
 	}
 }
 
+// nextSeq validates the firing time and allocates the tie-break
+// sequence number — the prologue shared by every scheduling variant,
+// hoisted so Schedule/ScheduleTimed/ScheduleArg stay three trivially
+// inlinable wrappers around push.
+//
+//redvet:hotpath
+func (e *Engine) nextSeq(at int64) uint64 {
+	e.checkTime(at)
+	e.seq++
+	return e.seq
+}
+
 // Schedule enqueues fn to run at cycle `at`.  For zero-allocation
 // steady-state scheduling the callback should be created once (per
 // component) and reused; a closure literal at the call site allocates
@@ -175,9 +193,7 @@ func (e *Engine) checkTime(at int64) {
 //
 //redvet:hotpath
 func (e *Engine) Schedule(at int64, fn func()) {
-	e.checkTime(at)
-	e.seq++
-	e.push(Event{at: at, seq: e.seq, fn: fn})
+	e.push(Event{at: at, seq: e.nextSeq(at), fn: fn})
 }
 
 // ScheduleTimed enqueues fn to run at cycle `at`, passing the firing
@@ -188,9 +204,7 @@ func (e *Engine) Schedule(at int64, fn func()) {
 //
 //redvet:hotpath
 func (e *Engine) ScheduleTimed(at int64, fn func(now int64)) {
-	e.checkTime(at)
-	e.seq++
-	e.push(Event{at: at, seq: e.seq, fnTimed: fn})
+	e.push(Event{at: at, seq: e.nextSeq(at), fnTimed: fn})
 }
 
 // ScheduleArg enqueues fn to run at cycle `at` with a fixed argument.
@@ -200,9 +214,7 @@ func (e *Engine) ScheduleTimed(at int64, fn func(now int64)) {
 //
 //redvet:hotpath
 func (e *Engine) ScheduleArg(at int64, fn func(arg uint64), arg uint64) {
-	e.checkTime(at)
-	e.seq++
-	e.push(Event{at: at, seq: e.seq, fnArg: fn, arg: arg})
+	e.push(Event{at: at, seq: e.nextSeq(at), fnArg: fn, arg: arg})
 }
 
 // After enqueues fn to run delay cycles from now.
@@ -300,6 +312,46 @@ func (e *Engine) RunWithin(deadline int64) bool {
 // loop is inlined: the heap head is read once per iteration instead of
 // re-checking emptiness and re-reading it through Step.
 //
+// headAt reports the firing time of the earliest queued event; ok is
+// false on an empty queue.  The sharded coordinator uses it to pick the
+// next window base across shard heaps.
+//
+//redvet:hotpath
+func (e *Engine) headAt() (at int64, ok bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// runBefore executes queued events with firing time strictly below end,
+// leaving the clock at the last fired event.  This is the per-shard
+// body of one conservative lookahead window: events the shard schedules
+// onto itself inside the window run in the same pass, while everything
+// at or past end waits for the next window.  The Limit backstop applies
+// as in Run — a same-cycle scheduling loop never crosses the window
+// boundary on its own, so without it the loop would spin inside one
+// window forever.  The trailing-tick frozen clock also applies, but
+// only once no work remains outside this engine (extPending).
+//
+//redvet:hotpath
+func (e *Engine) runBefore(end int64) {
+	for len(e.events) > 0 && e.events[0].at < end {
+		if e.Limit != 0 && e.Fired >= e.Limit {
+			panic("engine: event limit exceeded (likely a scheduling loop)")
+		}
+		ev := e.pop()
+		if len(e.events) < e.periodicTicks && !e.extPending {
+			// Trailing periodic tick: frozen clock, as in Run.
+			ev.at = e.now
+		} else {
+			e.now = ev.at
+		}
+		e.Fired++
+		e.fire(&ev)
+	}
+}
+
 //redvet:hotpath
 func (e *Engine) RunUntil(deadline int64) {
 	for len(e.events) > 0 && e.events[0].at <= deadline {

@@ -1,0 +1,491 @@
+package engine
+
+// The sharded scheduler: one Engine per memory-system locality domain
+// (shard 0 for CPU/global work, one shard per DRAM/HBM channel), run in
+// conservative time windows.  The window length W is derived from the
+// DRAM timing constraints (see config.DRAMTiming.ShardWindow): any
+// completion a channel shard posts while executing cycle `now` lands at
+// now + column-to-data latency + burst > now + W, so a window [T, T+W)
+// can execute on every shard without any shard observing an event the
+// others have not produced yet.
+//
+// One window proceeds in two phases separated by barriers:
+//
+//	merge inboxes → phase A (shard 0 alone) → merge arrival inboxes →
+//	phase B (channel shards, in parallel) → fold shadows
+//
+// Phase A is where the CPU complex, the cache controller and every
+// pinned component run; they hand transactions to channel shards
+// through per-(dst, src) inbox rings.  Phase B runs each channel's
+// command scheduling; completions go back to shard 0's inbox carrying
+// firing times at or past the window end (asserted at post time).
+// Inboxes are merged into the destination heap in (at, srcShard,
+// srcSeq) order with fresh destination sequence numbers, so the global
+// schedule is a pure function of the configuration — independent of
+// the worker count, which only decides how many OS threads execute
+// phase B.  That is the determinism contract the sharded-vs-serial
+// byte-identity matrix test pins.
+//
+// The two phases never overlap and every cross-thread hand-off is
+// ordered by the atomic epoch/done barrier (a sync/atomic store-load
+// pair establishes happens-before), so plain field accesses across
+// phases are race-free; the barrier sites below carry the justified
+// //redvet:detsafe annotations, and every cross-shard hand-off goes
+// through the //redvet:mergepoint functions PostTimed/PostArg.
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// inboxEntry is one cross-shard event awaiting its window-boundary
+// merge.  seq records post order within its (dst, src) ring.
+type inboxEntry struct {
+	at      int64
+	seq     uint64
+	fnTimed func(now int64)
+	fnArg   func(arg uint64)
+	arg     uint64
+}
+
+// inboxRing is a per-(dst, src) post buffer.  Exactly one shard writes
+// it (the source, during its phase) and only the coordinator drains it
+// (at a barrier), so it needs no synchronization beyond the barrier
+// itself.  Entries are naturally (at, seq)-sorted: sources post in
+// event order and completion times are monotone per channel.
+type inboxRing struct {
+	buf []inboxEntry
+	seq uint64
+}
+
+//redvet:hotpath
+func (r *inboxRing) push(e inboxEntry) {
+	if len(r.buf) == cap(r.buf) {
+		r.grow()
+	}
+	n := len(r.buf)
+	r.buf = r.buf[:n+1]
+	r.buf[n] = e
+}
+
+// grow doubles the ring's backing array (16 minimum).
+//
+//redvet:coldstart — amortized inbox growth up to the window's hand-off high-water mark
+func (r *inboxRing) grow() {
+	grown := make([]inboxEntry, len(r.buf), max(16, 2*cap(r.buf)))
+	copy(grown, r.buf)
+	r.buf = grown
+}
+
+// mergeEnt tags an inbox entry with its source shard for the
+// (at, srcShard, srcSeq) merge sort.
+type mergeEnt struct {
+	src int
+	e   inboxEntry
+}
+
+// Shard is a posting handle bound to one shard; components owned by a
+// shard use it to hand events to shard 0.
+type Shard struct {
+	s   *Sharded
+	idx int
+}
+
+// Engine returns the shard's event heap; components owned by the shard
+// schedule their intra-shard events on it directly.
+func (sh *Shard) Engine() *Engine { return sh.s.shards[sh.idx] }
+
+// Sharded couples N engines into one windowed run.  Construct with
+// NewSharded, wire components to shard engines, then call Run or
+// RunWithin from the owning goroutine; Close releases the worker pool.
+type Sharded struct {
+	window int64
+	shards []*Engine
+	handle []Shard
+	inbox  [][]inboxRing // [dst][src]
+	folds  []func()
+
+	workers int   // parallel executors for phase B (including the caller)
+	curEnd  int64 // current window end; set before workers are released
+
+	scratch []mergeEnt
+
+	spawned bool
+	epoch   atomic.Uint64 // bumped to release workers into a window
+	done    atomic.Uint64 // workers finished with the current window
+	exited  atomic.Uint64 // workers that observed quit and returned
+	quit    atomic.Bool
+
+	panicked atomic.Bool
+	panicVal any // first worker panic, re-raised on the caller goroutine
+}
+
+// NewSharded builds a windowed scheduler over root (which becomes shard
+// 0) plus `extra` fresh channel-shard engines.  window is the
+// conservative lookahead in cycles; workers bounds how many executors
+// run phase B in parallel (clamped to [1, extra] — 1 means the caller
+// runs every shard inline and no goroutines are spawned).
+func NewSharded(root *Engine, extra int, window int64, workers int) *Sharded {
+	if extra < 1 {
+		panic("engine: sharded run needs at least one channel shard")
+	}
+	if window < 1 {
+		panic("engine: shard window must be positive")
+	}
+	s := &Sharded{window: window, workers: max(1, min(workers, extra))}
+	s.shards = make([]*Engine, 1+extra)
+	s.shards[0] = root
+	for i := 1; i < len(s.shards); i++ {
+		s.shards[i] = New()
+	}
+	s.handle = make([]Shard, len(s.shards))
+	s.inbox = make([][]inboxRing, len(s.shards))
+	for i := range s.inbox {
+		s.inbox[i] = make([]inboxRing, len(s.shards))
+		s.handle[i] = Shard{s: s, idx: i}
+	}
+	return s
+}
+
+// Shards reports the shard count (including shard 0).
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Workers reports the clamped executor count.
+func (s *Sharded) Workers() int { return s.workers }
+
+// Window reports the lookahead window in cycles.
+func (s *Sharded) Window() int64 { return s.window }
+
+// Shard returns the posting handle for shard i.
+func (s *Sharded) Shard(i int) *Shard { return &s.handle[i] }
+
+// OnWindowEnd registers a fold hook run by the coordinator after each
+// phase B that executed work: controllers use it to fold per-channel
+// shadow statistics into the shared counters in fixed shard order.
+func (s *Sharded) OnWindowEnd(fn func()) { s.folds = append(s.folds, fn) }
+
+// SetLimit applies the runaway-event backstop to every shard's engine.
+func (s *Sharded) SetLimit(n uint64) {
+	for _, e := range s.shards {
+		e.Limit = n
+	}
+}
+
+// TotalFired sums events executed across all shards — the sharded
+// analog of Engine.Fired.  Call only between phases (e.g. from shard-0
+// events or after Run returns).
+func (s *Sharded) TotalFired() uint64 {
+	var n uint64
+	for _, e := range s.shards {
+		n += e.Fired
+	}
+	return n
+}
+
+// TotalPending sums queued events across all shard heaps and unmerged
+// inboxes.  Call only between phases.
+func (s *Sharded) TotalPending() int {
+	n := 0
+	for _, e := range s.shards {
+		n += e.Pending()
+	}
+	for dst := range s.inbox {
+		for src := range s.inbox[dst] {
+			n += len(s.inbox[dst][src].buf)
+		}
+	}
+	return n
+}
+
+// CheckHeaps validates every shard's event heap — the engine leg of the
+// online invariant checker in sharded mode.
+func (s *Sharded) CheckHeaps() error {
+	for _, e := range s.shards {
+		if err := e.CheckHeap(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PostTimed hands a completion to shard 0, to be merged at the next
+// window boundary.  Posts from channel shards must respect the
+// conservative lookahead: firing at or past the current window's end.
+//
+//redvet:hotpath
+//redvet:mergepoint — channel-shard → shard-0 completion hand-off; buffered in the (dst, src) inbox and merged at the window barrier in (at, srcShard, srcSeq) order
+func (sh *Shard) PostTimed(at int64, fn func(now int64)) {
+	s := sh.s
+	if sh.idx != 0 && at < s.curEnd {
+		panic("engine: cross-shard event inside the current window (lookahead bound violated)")
+	}
+	r := &s.inbox[0][sh.idx]
+	r.seq++
+	r.push(inboxEntry{at: at, seq: r.seq, fnTimed: fn})
+}
+
+// PostArg hands an arrival from shard 0 to channel shard dst.  Called
+// only during phase A; the entry is merged into dst's heap before
+// phase B of the same window, so `at` may be the current cycle.
+//
+//redvet:hotpath
+//redvet:mergepoint — shard-0 → channel-shard arrival hand-off; buffered in the (dst, src) inbox and merged before phase B of the same window
+func (s *Sharded) PostArg(dst int, at int64, fn func(arg uint64), arg uint64) {
+	r := &s.inbox[dst][0]
+	r.seq++
+	r.push(inboxEntry{at: at, seq: r.seq, fnArg: fn, arg: arg})
+}
+
+// mergeInto drains every source ring destined for shard dst into its
+// heap in (at, srcShard, srcSeq) order, stamping fresh destination
+// sequence numbers.  Single-source drains skip the sort: a ring is
+// already (at, seq)-sorted.
+func (s *Sharded) mergeInto(dst int) {
+	e := s.shards[dst]
+	nonEmpty, total := -1, 0
+	for src := range s.inbox[dst] {
+		if n := len(s.inbox[dst][src].buf); n > 0 {
+			nonEmpty, total = src, total+n
+		}
+	}
+	if total == 0 {
+		return
+	}
+	rings := s.inbox[dst]
+	if n := len(rings[nonEmpty].buf); n == total {
+		for i := range rings[nonEmpty].buf {
+			pushInbox(e, &rings[nonEmpty].buf[i])
+		}
+		clearRing(&rings[nonEmpty])
+		return
+	}
+	s.scratch = s.scratch[:0]
+	for src := range rings {
+		for i := range rings[src].buf {
+			s.scratch = append(s.scratch, mergeEnt{src: src, e: rings[src].buf[i]})
+		}
+		if len(rings[src].buf) > 0 {
+			clearRing(&rings[src])
+		}
+	}
+	// Insertion sort by (at, src, seq) — the full deterministic merge
+	// order.  Rings are individually sorted, so runs are long and this
+	// is near-linear; windows are short, so n stays small.
+	sc := s.scratch
+	for i := 1; i < len(sc); i++ {
+		v := sc[i]
+		j := i - 1
+		for j >= 0 && (sc[j].e.at > v.e.at || (sc[j].e.at == v.e.at &&
+			(sc[j].src > v.src || (sc[j].src == v.src && sc[j].e.seq > v.e.seq)))) {
+			sc[j+1] = sc[j]
+			j--
+		}
+		sc[j+1] = v
+	}
+	for i := range sc {
+		pushInbox(e, &sc[i].e)
+	}
+}
+
+// pushInbox transfers one merged entry onto e's heap with a fresh local
+// sequence number.
+func pushInbox(e *Engine, in *inboxEntry) {
+	e.push(Event{at: in.at, seq: e.nextSeq(in.at),
+		fnTimed: in.fnTimed, fnArg: in.fnArg, arg: in.arg})
+}
+
+// clearRing empties a ring, zeroing entries so stale callbacks cannot
+// pin memory, and keeps the backing array for reuse.
+func clearRing(r *inboxRing) {
+	for i := range r.buf {
+		r.buf[i] = inboxEntry{}
+	}
+	r.buf = r.buf[:0]
+}
+
+// mergeAll drains every inbox (window start: completions from the last
+// phase B, plus anything posted before the run began).
+func (s *Sharded) mergeAll() {
+	for dst := range s.shards {
+		s.mergeInto(dst)
+	}
+}
+
+// mergeArrivals drains the shard-0 → channel inboxes between phases A
+// and B.
+func (s *Sharded) mergeArrivals() {
+	for dst := 1; dst < len(s.shards); dst++ {
+		s.mergeInto(dst)
+	}
+}
+
+// nextBase returns the earliest queued firing time across all shard
+// heaps; ok is false when every heap is empty.
+func (s *Sharded) nextBase() (base int64, ok bool) {
+	for _, e := range s.shards {
+		if at, has := e.headAt(); has && (!ok || at < base) {
+			base, ok = at, true
+		}
+	}
+	return base, ok
+}
+
+// channelWork reports whether any channel shard has queued events.
+func (s *Sharded) channelWork() bool {
+	for i := 1; i < len(s.shards); i++ {
+		if s.shards[i].Pending() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// runWindow executes one window [base, end): phase A on shard 0, the
+// arrival merge, then phase B across the channel shards.  It reports
+// whether phase B executed any events (so the caller can skip the fold
+// on compute-only windows).
+func (s *Sharded) runWindow(end int64) bool {
+	s.curEnd = end
+	s.shards[0].extPending = s.channelWork()
+	s.shards[0].runBefore(end) // phase A
+	s.mergeArrivals()
+
+	busy := 0
+	for i := 1; i < len(s.shards); i++ {
+		if at, ok := s.shards[i].headAt(); ok && at < end {
+			busy++
+		}
+	}
+	if busy == 0 {
+		return false
+	}
+	if busy == 1 || s.workers == 1 {
+		// Not worth a barrier: run the channel shards inline.  The
+		// schedule is identical either way — shards share no state and
+		// the fold below runs in fixed shard order.
+		for i := 1; i < len(s.shards); i++ {
+			s.shards[i].runBefore(end)
+		}
+	} else {
+		s.dispatch(end)
+	}
+	for _, fn := range s.folds {
+		fn()
+	}
+	return true
+}
+
+// dispatch runs phase B across the worker pool: executor 0 is the
+// calling goroutine, executors 1..workers-1 are pooled goroutines
+// released by an epoch bump and awaited through the done counter.
+func (s *Sharded) dispatch(end int64) {
+	if !s.spawned {
+		s.spawn()
+	}
+	s.done.Store(0) //redvet:detsafe — barrier reset before the release; workers cannot observe it until the epoch bump below
+	//redvet:detsafe — barrier release: the atomic epoch store publishes curEnd and all pre-phase state to the workers (store-release / load-acquire pairing)
+	s.epoch.Add(1)
+	s.runShare(0, end)
+	for s.done.Load() != uint64(s.workers-1) { //redvet:detsafe — barrier wait: spin until every worker finished the window; the atomic load pairs with the workers' done.Add
+		runtime.Gosched()
+	}
+	if s.panicked.Load() { //redvet:detsafe — post-barrier check of the forwarded worker panic; ordered after the done counter
+		s.Close()
+		panic(s.panicVal)
+	}
+}
+
+// spawn starts the phase-B worker pool.
+func (s *Sharded) spawn() {
+	s.spawned = true
+	for w := 1; w < s.workers; w++ {
+		//redvet:detsafe — phase-B worker pool: workers only run disjoint channel shards between barriers, so the schedule is worker-count-independent by construction
+		go s.workerLoop(w)
+	}
+}
+
+// workerLoop is one pooled executor: wait for an epoch bump, run this
+// executor's share of the channel shards, signal done; exit on quit.
+func (s *Sharded) workerLoop(w int) {
+	var last uint64
+	for {
+		for s.epoch.Load() == last { //redvet:detsafe — barrier wait: spin for the coordinator's epoch bump (load-acquire side of the release above)
+			runtime.Gosched()
+		}
+		last++
+		if s.quit.Load() { //redvet:detsafe — shutdown flag; set before the releasing epoch bump
+			s.exited.Add(1) //redvet:detsafe — exit acknowledgment awaited by Close
+			return
+		}
+		s.runShare(w, s.curEnd)
+		//redvet:detsafe — barrier arrival: pairs with the coordinator's done spin; all shard state written this phase happens-before the coordinator's next read
+		s.done.Add(1)
+	}
+}
+
+// runShare executes the channel shards assigned to executor w (shard i
+// goes to executor (i-1) mod workers).  A panic on a worker goroutine
+// is forwarded to the coordinator, which re-raises it after the
+// barrier, so failures surface through the caller's recover exactly as
+// in a serial run.
+func (s *Sharded) runShare(w int, end int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			if s.panicked.CompareAndSwap(false, true) { //redvet:detsafe — first panic wins the slot; the CAS orders the panicVal write before the coordinator's post-barrier read
+				s.panicVal = r
+			}
+		}
+	}()
+	for i := w + 1; i < len(s.shards); i += s.workers {
+		s.shards[i].runBefore(end)
+	}
+}
+
+// Close shuts the worker pool down (idempotent).  Callers must invoke
+// it when done with the run — including on the panic path — so no
+// spinning goroutine outlives the simulation.
+func (s *Sharded) Close() {
+	if !s.spawned {
+		return
+	}
+	s.spawned = false
+	s.quit.Store(true) //redvet:detsafe — shutdown flag published by the epoch bump below
+	//redvet:detsafe — releasing epoch bump: wakes every worker into the quit check
+	s.epoch.Add(1)
+	for s.exited.Load() != uint64(s.workers-1) { //redvet:detsafe — join: wait for every worker to acknowledge shutdown
+		runtime.Gosched()
+	}
+}
+
+// Run executes windows until every shard heap and inbox drains,
+// returning shard 0's final cycle.  The analog of Engine.Run for a
+// sharded run; panics from any shard (event limit, scheduling in the
+// past, component invariants) surface on the calling goroutine.
+func (s *Sharded) Run() int64 {
+	for {
+		s.mergeAll()
+		base, ok := s.nextBase()
+		if !ok {
+			return s.shards[0].Now()
+		}
+		s.runWindow(base + s.window)
+	}
+}
+
+// RunWithin executes windows until the run drains or the earliest
+// queued event lies past deadline, reporting whether it drained — the
+// sharded analog of Engine.RunWithin, with the same convention that
+// the clock is never forced to the deadline.
+func (s *Sharded) RunWithin(deadline int64) bool {
+	for {
+		s.mergeAll()
+		base, ok := s.nextBase()
+		if !ok {
+			return true
+		}
+		if base > deadline {
+			return false
+		}
+		s.runWindow(min(base+s.window, deadline+1))
+	}
+}

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// shardedTrace runs a fixed 3-channel-shard workload under the given
+// worker count and returns the order in which shard 0 observed the
+// cross-shard completions — the engine-level determinism probe.
+func shardedTrace(t *testing.T, workers int) []string {
+	t.Helper()
+	var log []string
+	s := NewSharded(New(), 3, 10, workers)
+	defer s.Close()
+	for i := 1; i <= 3; i++ {
+		i := i
+		sh := s.Shard(i)
+		eng := sh.Engine()
+		count := 0
+		var step func(now int64)
+		step = func(now int64) {
+			count++
+			// The completion lands exactly one window out — the tightest
+			// post the lookahead assertion admits.
+			sh.PostTimed(now+10, func(at int64) {
+				log = append(log, fmt.Sprintf("c%d@%d", i, at))
+			})
+			if count < 50 {
+				eng.ScheduleTimed(now+int64(i), step)
+			}
+		}
+		eng.ScheduleTimed(int64(i), step)
+	}
+	s.Run()
+	if len(log) != 3*50 {
+		t.Fatalf("workers=%d fired %d completions, want %d", workers, len(log), 150)
+	}
+	return log
+}
+
+// TestShardedWorkerCountInvariance: the merged completion order is a
+// pure function of the posts — identical whether phase B runs inline
+// (workers=1, no goroutines) or across a worker pool.
+func TestShardedWorkerCountInvariance(t *testing.T) {
+	want := shardedTrace(t, 1)
+	for _, w := range []int{2, 3} {
+		if got := shardedTrace(t, w); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d observed a different completion order\nwant %v\ngot  %v",
+				w, want, got)
+		}
+	}
+}
+
+// TestShardedMergeOrder: completions posted for the same cycle merge in
+// (at, srcShard, srcSeq) order regardless of post interleaving across
+// sources.
+func TestShardedMergeOrder(t *testing.T) {
+	var log []string
+	s := NewSharded(New(), 2, 5, 1)
+	defer s.Close()
+	for _, i := range []int{2, 1} { // post from shard 2 first
+		i := i
+		sh := s.Shard(i)
+		sh.Engine().ScheduleTimed(1, func(now int64) {
+			for j := 0; j < 2; j++ {
+				j := j
+				sh.PostTimed(20, func(int64) {
+					log = append(log, fmt.Sprintf("s%dp%d", i, j))
+				})
+			}
+		})
+	}
+	s.Run()
+	want := []string{"s1p0", "s1p1", "s2p0", "s2p1"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("same-cycle merge order %v, want %v", log, want)
+	}
+}
+
+// TestShardedArrivalSameWindow: a PostArg arrival posted during phase A
+// runs on the destination shard in the same window, at the posted
+// cycle.
+func TestShardedArrivalSameWindow(t *testing.T) {
+	s := NewSharded(New(), 1, 10, 1)
+	defer s.Close()
+	dst := s.Shard(1).Engine()
+	var gotNow, gotArg int64 = -1, -1
+	fn := func(arg uint64) { gotNow, gotArg = dst.Now(), int64(arg) }
+	s.shards[0].ScheduleTimed(3, func(now int64) {
+		s.PostArg(1, now, fn, 42)
+	})
+	s.Run()
+	if gotNow != 3 || gotArg != 42 {
+		t.Fatalf("arrival fired at cycle %d with arg %d, want cycle 3 arg 42", gotNow, gotArg)
+	}
+}
+
+// TestShardedLookaheadViolationPanics: a channel shard posting inside
+// the current window trips the conservative-bound assertion instead of
+// silently reordering time.
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	s := NewSharded(New(), 1, 10, 1)
+	defer s.Close()
+	s.curEnd = 100
+	defer func() {
+		if recover() == nil {
+			t.Fatal("in-window cross-shard post did not panic")
+		}
+	}()
+	s.Shard(1).PostTimed(99, func(int64) {})
+}
+
+// TestShardedWorkerPanicForwarded: a panic on a pooled worker surfaces
+// on the coordinator goroutine (so a caller's recover sees it), and the
+// pool shuts down cleanly.
+func TestShardedWorkerPanicForwarded(t *testing.T) {
+	s := NewSharded(New(), 2, 10, 2)
+	defer s.Close()
+	for i := 1; i <= 2; i++ {
+		i := i
+		s.Shard(i).Engine().ScheduleTimed(1, func(now int64) {
+			if i == 2 {
+				panic("boom on shard 2")
+			}
+		})
+	}
+	defer func() {
+		if r := recover(); r != "boom on shard 2" {
+			t.Fatalf("recovered %v, want the forwarded worker panic", r)
+		}
+	}()
+	s.Run()
+}
+
+// TestShardedRunWithin mirrors Engine.RunWithin semantics: false when
+// undrained work lies past the deadline, clock never forced forward.
+func TestShardedRunWithin(t *testing.T) {
+	s := NewSharded(New(), 1, 10, 1)
+	defer s.Close()
+	fired := 0
+	s.Shard(1).Engine().Schedule(5, func() { fired++ })
+	s.Shard(1).Engine().Schedule(500, func() { fired++ })
+	if s.RunWithin(100) {
+		t.Fatal("RunWithin reported drained with an event at 500 queued")
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d events within deadline, want 1", fired)
+	}
+	if !s.RunWithin(1000) {
+		t.Fatal("RunWithin did not drain")
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d events total, want 2", fired)
+	}
+}

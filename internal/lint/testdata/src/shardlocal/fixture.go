@@ -46,6 +46,17 @@ func handOff(b *bank) {
 	go touch(b) // want `goroutine argument hands shard-local bank`
 }
 
+// mergeLeak is the deliberate sharded-engine violation: the mergepoint
+// sanction covers the ordered hand-off itself (sends, cross-package
+// references), not moving shard state to another scheduling domain — a
+// goroutine launched inside the merge window escapes it, and the flow
+// rule flags it even here.
+//
+//redvet:mergepoint — fixture: merge that wrongly leaks state to a goroutine
+func mergeLeak(b *bank) {
+	go touch(b) // want `goroutine argument hands shard-local bank`
+}
+
 func touch(b *bank) { b.open++ }
 
 func leakRef(r *shardstate.Ring) {

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"redcache/internal/dram"
-	"redcache/internal/engine"
 	"redcache/internal/hbm"
 	"redcache/internal/stats"
 )
@@ -25,10 +24,10 @@ type invariantRunner struct {
 	sweeps int64
 }
 
-func newInvariantRunner(eng *engine.Engine, hbmCtl, ddrCtl *dram.Controller,
+func newInvariantRunner(heapCheck func() error, hbmCtl, ddrCtl *dram.Controller,
 	ctl hbm.Controller, hbmIface, ddrIface *stats.Interface) *invariantRunner {
 	r := &invariantRunner{}
-	r.checks = append(r.checks, eng.CheckHeap, ddrCtl.CheckInvariants,
+	r.checks = append(r.checks, heapCheck, ddrCtl.CheckInvariants,
 		ddrIface.Check, hbmIface.Check)
 	if hbmCtl != nil {
 		r.checks = append(r.checks, hbmCtl.CheckInvariants)

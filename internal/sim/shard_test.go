@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"redcache/internal/config"
+	"redcache/internal/hbm"
+	"redcache/internal/obs"
+	"redcache/internal/workloads"
+)
+
+// shardMatrixArchs rotates the architecture across workloads so the
+// matrix covers every shard placement the wire-up can produce: NoHBM
+// (DDR sharded, no HBM device), Alloy/Bear/Red-InSitu (both devices
+// sharded), and RedCache (HBM pinned to shard 0 by its RCU hooks, DDR
+// sharded).
+var shardMatrixArchs = []hbm.Arch{
+	hbm.ArchNoHBM, hbm.ArchAlloy, hbm.ArchBear, hbm.ArchRedInSitu, hbm.ArchRedCache,
+}
+
+// shardResultString renders everything the byte-identity contract
+// covers: the full seed-era Result rendering plus event totals,
+// invariant sweep counts, and fault counters.
+func shardResultString(r *Result) string {
+	s := goldenString(r)
+	s += fmt.Sprintf("Events:%d InvariantChecks:%d\n", r.EventsFired, r.InvariantChecks)
+	if r.FaultStats != nil {
+		s += fmt.Sprintf("Faults:%+v\n", *r.FaultStats)
+	}
+	return s
+}
+
+// shardTelemetryCSV renders the run's epoch series byte-for-byte.
+func shardTelemetryCSV(t *testing.T, r *Result) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.WriteSeriesCSV(&buf, r.Telemetry.Series()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func shardMatrixRun(t *testing.T, workload string, arch hbm.Arch, workers int, faults bool) *Result {
+	t.Helper()
+	cfg := config.Tiny()
+	spec, err := workloads.ByLabel(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := spec.Gen(cfg.CPU.Cores, workloads.Tiny, 1)
+	opts := &Options{
+		ShardWorkers:    workers,
+		InvariantCycles: 4096,
+		Telemetry:       &obs.Options{EpochCycles: 4096},
+	}
+	if faults {
+		f := config.DefaultFaults()
+		f.Seed = 7
+		opts.Faults = &f
+	}
+	res, err := Run(cfg, arch, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShardedByteIdentityMatrix is the sharded engine's determinism
+// contract: for every workload, with faults off and on, the run's
+// Result bytes, telemetry CSV bytes, and invariant verdicts are
+// byte-identical across every worker count — 1 (fully inline, no
+// goroutines), 2, 4, and auto (GOMAXPROCS).  The worker count decides
+// only which OS thread executes a channel shard's window, never the
+// schedule, so this holds bit-exactly, not approximately.
+func TestShardedByteIdentityMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is long; run without -short")
+	}
+	auto := runtime.GOMAXPROCS(0)
+	for i, spec := range workloads.Catalog() {
+		arch := shardMatrixArchs[i%len(shardMatrixArchs)]
+		for _, faults := range []bool{false, true} {
+			name := fmt.Sprintf("%s_%s_faults=%v", spec.Label, arch, faults)
+			t.Run(name, func(t *testing.T) {
+				ref := shardMatrixRun(t, spec.Label, arch, 1, faults)
+				wantRes := shardResultString(ref)
+				wantCSV := shardTelemetryCSV(t, ref)
+				for _, workers := range []int{2, 4, auto} {
+					got := shardMatrixRun(t, spec.Label, arch, workers, faults)
+					if s := shardResultString(got); s != wantRes {
+						t.Fatalf("workers=%d diverged from workers=1:\n--- want\n%s\n--- got\n%s",
+							workers, wantRes, s)
+					}
+					if csv := shardTelemetryCSV(t, got); csv != wantCSV {
+						t.Fatalf("workers=%d telemetry CSV diverged from workers=1", workers)
+					}
+					if got.InvariantChecks == 0 {
+						t.Fatalf("workers=%d completed no invariant sweeps", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedRepeatable pins run-to-run determinism of the sharded
+// plan itself (same worker count, fresh traces), mirroring
+// TestRunBitReproducible for the windowed schedule.
+func TestShardedRepeatable(t *testing.T) {
+	run := func() string {
+		return shardResultString(shardMatrixRun(t, "LU", hbm.ArchRedCache, 4, true))
+	}
+	first := run()
+	if again := run(); again != first {
+		t.Fatalf("repeated sharded runs diverged:\n--- first\n%s\n--- again\n%s", first, again)
+	}
+}

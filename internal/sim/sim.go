@@ -105,6 +105,15 @@ type Options struct {
 	// telemetry-enabled run produces the same simulation counters as a
 	// plain one.
 	Telemetry *obs.Options
+	// ShardWorkers > 0 selects the sharded engine plan: every DRAM/HBM
+	// channel without shard-0 couplings (hooks, observers) runs on its
+	// own shard under the conservative window schedule, executed by up
+	// to this many parallel workers.  The schedule — and therefore every
+	// result byte — is a pure function of the configuration, identical
+	// for every positive worker count; only wall-clock changes.  0 keeps
+	// the classic single-engine plan, whose event interleaving (and thus
+	// golden results) differs from the sharded schedule.
+	ShardWorkers int
 }
 
 // Run simulates the trace on the given architecture and returns the
@@ -168,6 +177,44 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (res 
 		}
 	}
 
+	// Shard placement happens after every hook, observer, and injector
+	// is installed (they decide which controllers may leave shard 0) and
+	// before the first transaction is enqueued.  Controller order is
+	// fixed (HBM first, then DDR), so shard indices — and with them the
+	// per-channel fault streams — are a pure function of the
+	// configuration.  The window is the tightest ShardWindow bound among
+	// the sharded devices.
+	var shd *engine.Sharded
+	if opts.ShardWorkers > 0 {
+		type placed struct {
+			ctl   *dram.Controller
+			first int
+		}
+		var plan []placed
+		extra := 0
+		window := int64(1) << 62
+		for _, cand := range []struct {
+			ctl *dram.Controller
+			tm  config.DRAMTiming
+		}{{hbmCtl, cfg.HBM.Timing}, {ddrCtl, cfg.MainMem.Timing}} {
+			if cand.ctl == nil || !cand.ctl.Shardable() {
+				continue
+			}
+			plan = append(plan, placed{cand.ctl, 1 + extra})
+			extra += cand.ctl.Channels()
+			if w := cand.tm.ShardWindow(); w < window {
+				window = w
+			}
+		}
+		if extra > 0 {
+			shd = engine.NewSharded(eng, extra, window, opts.ShardWorkers)
+			defer shd.Close()
+			for _, p := range plan {
+				p.ctl.SetSharding(shd, p.first)
+			}
+		}
+	}
+
 	cx := cpu.NewComplex(eng, cfg, t, submitFunc(func(req *mem.Request) { ctl.Submit(req) }))
 
 	var tel *obs.Telemetry
@@ -180,8 +227,16 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (res 
 		// part of the telemetry file format: engine, interfaces +
 		// channels, cache controller, CPU, L3.
 		tel.Tracer.SetClock(eng.Now)
-		tel.Reg.Counter("engine.events_fired", func() int64 { return int64(eng.Fired) })
-		tel.Reg.Gauge("engine.pending", func() int64 { return int64(eng.Pending()) })
+		if shd != nil {
+			// Same column names, whole-machine values: fired/pending sum
+			// over every shard heap and unmerged inbox.  Samples run on
+			// shard 0 between phases, when all shards are quiescent.
+			tel.Reg.Counter("engine.events_fired", func() int64 { return int64(shd.TotalFired()) })
+			tel.Reg.Gauge("engine.pending", func() int64 { return int64(shd.TotalPending()) })
+		} else {
+			tel.Reg.Counter("engine.events_fired", func() int64 { return int64(eng.Fired) })
+			tel.Reg.Gauge("engine.pending", func() int64 { return int64(eng.Pending()) })
+		}
 		if hbmCtl != nil {
 			obs.RegisterInterface(&tel.Reg, "hbm", &res.HBMIface, eng.Now)
 			hbmCtl.RegisterProbes(&tel.Reg, "hbm")
@@ -201,7 +256,11 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (res 
 
 	var invs *invariantRunner
 	if opts.InvariantCycles > 0 {
-		invs = newInvariantRunner(eng, hbmCtl, ddrCtl, ctl, &res.HBMIface, &res.DDRIface)
+		heapCheck := eng.CheckHeap
+		if shd != nil {
+			heapCheck = shd.CheckHeaps
+		}
+		invs = newInvariantRunner(heapCheck, hbmCtl, ddrCtl, ctl, &res.HBMIface, &res.DDRIface)
 		eng.SchedulePeriodic(opts.InvariantCycles, invs.tick)
 	}
 
@@ -213,19 +272,32 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (res 
 		// so the event limit catches same-cycle scheduling loops the
 		// cycle deadline alone would never pass.
 		eng.Limit = uint64(opts.MaxCycles)
+		if shd != nil {
+			shd.SetLimit(uint64(opts.MaxCycles))
+		}
 		// Cycle-exact watchdog.  The budget is enforced by the bounded
 		// run itself rather than a queued sentinel event: an event
 		// parked at the budget cycle would hold the queue open after the
 		// cores retire, dragging the clock (and the writeback drain
 		// below) to the budget cycle and perturbing interface counters.
-		if !eng.RunWithin(opts.MaxCycles) && cx.AllDoneAt < 0 {
+		tripped := false
+		if shd != nil {
+			tripped = !shd.RunWithin(opts.MaxCycles)
+		} else {
+			tripped = !eng.RunWithin(opts.MaxCycles)
+		}
+		if tripped && cx.AllDoneAt < 0 {
 			panic(watchdogAbort{budget: opts.MaxCycles})
 		}
 		// Cores retired within budget; anything still queued past the
 		// deadline is a periodic tick about to auto-stop, and letting it
 		// fire keeps the clock identical to an unbounded run.
 	}
-	eng.Run()
+	if shd != nil {
+		shd.Run()
+	} else {
+		eng.Run()
+	}
 	if cx.AllDoneAt < 0 {
 		return nil, &Error{Op: "deadlock", Workload: t.Name, Arch: arch,
 			Cycle: eng.Now(), Fired: eng.Fired, Pending: eng.Pending(),
@@ -233,7 +305,11 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (res 
 	}
 
 	ctl.Drain()
-	eng.Run() // let the drain traffic settle
+	if shd != nil {
+		shd.Run() // let the drain traffic settle
+	} else {
+		eng.Run()
+	}
 
 	if tel != nil {
 		tel.Finish(eng.Now())
@@ -243,6 +319,9 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (res 
 	res.Cycles = cx.AllDoneAt
 	res.Instructions = cx.Instructions()
 	res.EventsFired = eng.Fired
+	if shd != nil {
+		res.EventsFired = shd.TotalFired()
+	}
 	res.Ctl = *ctl.Stats()
 	res.L3 = *cx.Hier.L3Stats()
 	if inj != nil {
