@@ -4,7 +4,7 @@
 // Usage:
 //
 //	redsim -workload LU -arch RedCache [-scale default] [-seed 1]
-//	       [-shards auto|N]
+//	       [-shards auto|N [-prof] [-proftrace t.json] [-profcsv p.csv]]
 //	       [-faults default -faultseed 1] [-invariants [-invperiod 10000]]
 //	       [-maxcycles N]
 //	       [-telemetry out/ -epoch 100000 [-events]]
@@ -16,6 +16,17 @@
 // construction — any positive N (including 1) produces byte-identical
 // results; N only decides how many OS threads execute it.  0 (the
 // default) keeps the classic serial engine.
+//
+// -prof (requires -shards > 0) attaches the wall-clock shard profiler
+// (internal/obs/prof): per-shard busy time, barrier/merge/fold
+// attribution, the cross-shard traffic matrix, and a load-imbalance
+// report, printed to stderr so stdout stays byte-identical with or
+// without profiling.  -proftrace additionally exports the window/phase
+// timeline as Chrome trace-event JSON (load it at
+// https://ui.perfetto.dev), and -profcsv writes the deterministic
+// schedule-derived summary; both imply -prof and carry a
+// run-provenance manifest (config hash, seed, shard plan, go version,
+// CPU count).
 //
 // -faults enables deterministic fault injection: "default" (or "on")
 // uses the paper-motivated default rates, "off" disables, and a
@@ -56,6 +67,7 @@ import (
 	"redcache/internal/config"
 	"redcache/internal/hbm"
 	"redcache/internal/obs"
+	"redcache/internal/obs/prof"
 	"redcache/internal/sim"
 	"redcache/internal/stats"
 	"redcache/internal/workloads"
@@ -77,6 +89,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale     = fs.String("scale", "default", "problem size: tiny, small or default")
 		seed      = fs.Int64("seed", 1, "workload PRNG seed")
 		shards    = fs.String("shards", "0", "sharded-engine workers: auto, or N (0 = classic serial engine)")
+		profOn    = fs.Bool("prof", false, "profile the sharded run (report to stderr; requires -shards > 0)")
+		profTrace = fs.String("proftrace", "", "write the profiler timeline as Perfetto-loadable trace JSON (implies -prof)")
+		profCSV   = fs.String("profcsv", "", "write the deterministic profiler summary CSV (implies -prof)")
 		cores     = fs.Int("cores", 0, "override core count (0 = config default)")
 		faults    = fs.String("faults", "off", "fault injection spec: off, default, or k=v list (tag, tagescape, rcount, data, row, bus)")
 		faultSeed = fs.Int64("faultseed", 1, "fault-injection PRNG seed (independent of -seed)")
@@ -132,6 +147,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *events && *telDir == "" {
 		return usage(fmt.Errorf("-events requires -telemetry"))
 	}
+	if *profTrace != "" || *profCSV != "" {
+		*profOn = true
+	}
+	if *profOn && shardWorkers == 0 {
+		return usage(fmt.Errorf("-prof requires -shards > 0 (there is no parallel schedule to profile on the serial engine)"))
+	}
 
 	tr := spec.Gen(cfg.CPU.Cores, sc, *seed)
 
@@ -169,6 +190,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *telDir != "" {
 		opts.Telemetry = &obs.Options{EpochCycles: *epoch, TraceEvents: *events}
 	}
+	if *profOn {
+		opts.Profile = &prof.Options{}
+	}
 
 	start := time.Now() //redvet:wallclock — host-side progress timing, never feeds simulated state
 	res, err := sim.Run(cfg, hbm.Arch(*arch), tr, opts)
@@ -196,6 +220,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	report(stdout, cfg, spec, sc, tr.Records(), res, wall)
+
+	if res.Profile != nil {
+		m := profManifest(cfg, spec.Label, string(res.Arch), *scale, *seed, *faults, *faultSeed, res.Profile)
+		if err := writeProf(stderr, res.Profile, m, *profTrace, *profCSV); err != nil {
+			return fail(err)
+		}
+	}
 	return 0
 }
 

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"redcache/internal/config"
+	"redcache/internal/obs/prof"
+)
+
+// profManifest assembles the run-provenance manifest from the resolved
+// flags and the profiler's recorded geometry.
+func profManifest(cfg *config.System, workload, arch, scale string, seed int64,
+	faultSpec string, faultSeed int64, p *prof.Profiler) *prof.Manifest {
+	m := &prof.Manifest{
+		ConfigHash: prof.HashConfig(cfg),
+		Workload:   workload,
+		Arch:       arch,
+		Scale:      scale,
+		Seed:       seed,
+		Shards:     p.Shards(),
+		Workers:    p.Workers(),
+		Window:     p.Window(),
+		Plan:       p.Plan(),
+	}
+	if faultSpec != "" && faultSpec != "off" {
+		m.Faults, m.FaultSeed = faultSpec, faultSeed
+	}
+	return m.Host()
+}
+
+// writeProf emits the profiler artifacts: the human report to stderr —
+// keeping stdout byte-identical with or without -prof — plus the
+// optional Perfetto trace and deterministic CSV summary files, each
+// stamped with the provenance manifest.
+func writeProf(stderr io.Writer, p *prof.Profiler, m *prof.Manifest, traceFile, csvFile string) error {
+	r := p.Report()
+	if r == nil {
+		return fmt.Errorf("profiler recorded no sharded run")
+	}
+	r.WriteText(stderr)
+	if traceFile != "" {
+		if err := writeFile(traceFile, func(f io.Writer) error {
+			return p.WriteTrace(f, m)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "prof: Perfetto trace written to %s (open at https://ui.perfetto.dev)\n", traceFile)
+	}
+	if csvFile != "" {
+		if err := writeFile(csvFile, func(f io.Writer) error {
+			return r.WriteCSV(f, m)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "prof: deterministic summary written to %s\n", csvFile)
+	}
+	return nil
+}
+
+// writeFile creates path, runs the emitter, and reports the first
+// error from either the emitter or Close (flushing matters for the
+// CI cmp steps).
+func writeFile(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"redcache/internal/obs/prof"
+)
+
+func TestProfRequiresShards(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scale", "tiny", "-cores", "4", "-prof"},
+		{"-scale", "tiny", "-cores", "4", "-proftrace", "t.json"},
+		{"-scale", "tiny", "-cores", "4", "-profcsv", "p.csv"},
+	} {
+		code, _, stderr := runCLI(args...)
+		if code != 2 {
+			t.Errorf("redsim %v: exit %d, want 2 (stderr %q)", args, code, stderr)
+		}
+		if !strings.Contains(stderr, "-shards") {
+			t.Errorf("redsim %v: stderr %q does not point at -shards", args, stderr)
+		}
+	}
+}
+
+// TestProfStdoutByteIdentical pins observational freedom at the CLI
+// surface: -prof moves all profiler output to stderr, so stdout is
+// byte-identical (modulo the wall line) with and without it.
+func TestProfStdoutByteIdentical(t *testing.T) {
+	base := []string{"-scale", "tiny", "-cores", "4", "-shards", "2",
+		"-faults", "default", "-faultseed", "7", "-invariants"}
+	code, without, stderr := runCLI(base...)
+	if code != 0 {
+		t.Fatalf("unprofiled run: exit %d, stderr %q", code, stderr)
+	}
+	code, with, stderr := runCLI(append(base, "-prof")...)
+	if code != 0 {
+		t.Fatalf("profiled run: exit %d, stderr %q", code, stderr)
+	}
+	if stripWall(with) != stripWall(without) {
+		t.Fatalf("-prof changed stdout:\n--- without\n%s\n--- with\n%s", without, with)
+	}
+	for _, want := range []string{"shard profile:", "shard_busy_frac", "imbalance", "plan:"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("profiled stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// TestProfArtifacts pins the file outputs: the trace passes the schema
+// validator and the CSV summary is byte-identical across runs, stamped
+// with the provenance manifest.
+func TestProfArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "t.json")
+	csv1 := filepath.Join(dir, "p1.csv")
+	csv2 := filepath.Join(dir, "p2.csv")
+	base := []string{"-scale", "tiny", "-cores", "4", "-shards", "4"}
+
+	code, _, stderr := runCLI(append(base, "-proftrace", traceFile, "-profcsv", csv1)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := prof.ValidateTrace(f); err != nil {
+		t.Fatalf("exported trace fails the schema validator: %v", err)
+	}
+
+	code, _, stderr = runCLI(append(base, "-profcsv", csv2)...)
+	if code != 0 {
+		t.Fatalf("second run: exit %d, stderr %q", code, stderr)
+	}
+	b1, err := os.ReadFile(csv1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(csv2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("profiler CSV diverged between identical runs:\n%s\n--- vs ---\n%s", b1, b2)
+	}
+	for _, want := range []string{"# config_hash=", "# workload=LU arch=RedCache", "# plan=shard0=cpu+uncore", "metric,i,j,value"} {
+		if !strings.Contains(string(b1), want) {
+			t.Errorf("CSV missing %q:\n%s", want, b1)
+		}
+	}
+}

@@ -406,6 +406,10 @@ func (c *Controller) SetFaultInjector(inj *fault.Injector) {
 // controller occupies when sharded).
 func (c *Controller) Channels() int { return len(c.chans) }
 
+// Name reports the configured device name (e.g. "WideIO", "DDR4") for
+// shard-plan and provenance reporting.
+func (c *Controller) Name() string { return c.cfg.Name }
+
 // Shardable reports whether the controller's channels can run on their
 // own shards: hooks and observers couple channel scheduling to shard-0
 // components (the RCU manager piggybacks and reenters the enqueue path;

@@ -1,0 +1,75 @@
+package engine
+
+// ShardProfiler receives the sharded coordinator's window, phase, and
+// hand-off callbacks.  It is the engine-side seam for the wall-clock
+// parallelism profiler in internal/obs/prof: the engine never reads the
+// host clock itself (the nowallclock contract), it only tells the
+// profiler *what* is happening — the profiler timestamps the spans in
+// its own package, behind justified //redvet:wallclock annotations.
+//
+// Threading contract (the same one the shadow statistics rely on):
+// every method except ShardStart/ShardEnd is invoked by the coordinator
+// goroutine between barriers.  ShardStart/ShardEnd are invoked on
+// whichever executor runs the shard's phase-B window, for that shard
+// only — calls for distinct shards may be concurrent, calls for one
+// shard never are, and the epoch/done barrier orders all of them
+// against the coordinator-side methods.
+//
+// A nil profiler costs one pointer comparison per call site; every
+// hook is behind `if s.prof != nil`, so an unprofiled run executes the
+// exact instruction stream it did before profiling existed.
+type ShardProfiler interface {
+	// RunStart opens a profiled span: Run/RunWithin call it on entry
+	// (possibly more than once per simulation — the drain settle is a
+	// second Run), RunEnd closes it.
+	RunStart(shards, workers int, window int64)
+	RunEnd()
+	// WindowStart/WindowEnd bracket one conservative window [base, end);
+	// occupancy is the number of channel shards that had work below end.
+	WindowStart(base, end int64)
+	WindowEnd(occupancy int)
+	// PhaseStart/PhaseEnd bracket one coordinator-side phase span.
+	PhaseStart(p ShardPhase)
+	PhaseEnd(p ShardPhase)
+	// ShardStart/ShardEnd bracket one shard's execution of the current
+	// window; fired is the number of events the shard executed in it.
+	// Shard 0's span is phase A, channel shards' spans are phase B.
+	ShardStart(shard int)
+	ShardEnd(shard int, fired uint64)
+	// Handoff reports one (dst, src) inbox ring about to be merged with
+	// n entries — the cross-shard traffic matrix, in deterministic
+	// (dst, src) drain order.
+	Handoff(dst, src, n int)
+}
+
+// ShardPhase names one coordinator-side span attributed by the
+// profiler.
+type ShardPhase uint8
+
+const (
+	// PhaseMerge covers inbox draining: the window-start mergeAll and
+	// the intra-window arrival merge.
+	PhaseMerge ShardPhase = iota
+	// PhaseBarrier covers the coordinator's spin on the done counter
+	// after its own phase-B share — pure barrier-wait time.
+	PhaseBarrier
+	// PhaseFold covers the OnWindowEnd fold hooks (shadow statistics,
+	// fault-view counters).
+	PhaseFold
+
+	// NumShardPhases bounds the phase enum for profiler-side arrays.
+	NumShardPhases
+)
+
+// SetProfiler attaches a profiler to the sharded run.  Must be called
+// before Run/RunWithin; pass the concrete value only when profiling is
+// enabled — a nil ShardProfiler keeps every hook on its zero-cost
+// `s.prof != nil` fast path.
+func (s *Sharded) SetProfiler(p ShardProfiler) { s.prof = p }
+
+// SetMergeHook installs a deterministic observer of cross-shard inbox
+// drains: fn runs on the coordinator for every non-empty (dst, src)
+// ring immediately before its merge, in (dst, src) order.  The
+// cycle-domain event tracer uses it to cover shard boundaries; like the
+// profiler it is nil by default and costs one comparison per ring.
+func (s *Sharded) SetMergeHook(fn func(dst, src, n int)) { s.onMerge = fn }

@@ -110,6 +110,13 @@ type Sharded struct {
 
 	scratch []mergeEnt
 
+	// prof, when non-nil, receives window/phase/hand-off callbacks (see
+	// ShardProfiler); onMerge, when non-nil, observes every non-empty
+	// inbox drain.  Both default to nil so an uninstrumented run pays
+	// one pointer comparison per site and nothing else.
+	prof    ShardProfiler
+	onMerge func(dst, src, n int)
+
 	spawned bool
 	epoch   atomic.Uint64 // bumped to release workers into a window
 	done    atomic.Uint64 // workers finished with the current window
@@ -246,6 +253,12 @@ func (s *Sharded) mergeInto(dst int) {
 	for src := range s.inbox[dst] {
 		if n := len(s.inbox[dst][src].buf); n > 0 {
 			nonEmpty, total = src, total+n
+			if s.prof != nil {
+				s.prof.Handoff(dst, src, n)
+			}
+			if s.onMerge != nil {
+				s.onMerge(dst, src, n)
+			}
 		}
 	}
 	if total == 0 {
@@ -347,8 +360,14 @@ func (s *Sharded) channelWork() bool {
 func (s *Sharded) runWindow(end int64) bool {
 	s.curEnd = end
 	s.shards[0].extPending = s.channelWork()
-	s.shards[0].runBefore(end) // phase A
+	s.runShard(0, end) // phase A
+	if s.prof != nil {
+		s.prof.PhaseStart(PhaseMerge)
+	}
 	s.mergeArrivals()
+	if s.prof != nil {
+		s.prof.PhaseEnd(PhaseMerge)
+	}
 
 	busy := 0
 	for i := 1; i < len(s.shards); i++ {
@@ -357,22 +376,55 @@ func (s *Sharded) runWindow(end int64) bool {
 		}
 	}
 	if busy == 0 {
+		if s.prof != nil {
+			s.prof.WindowEnd(0)
+		}
 		return false
 	}
 	if busy == 1 || s.workers == 1 {
 		// Not worth a barrier: run the channel shards inline.  The
 		// schedule is identical either way — shards share no state and
-		// the fold below runs in fixed shard order.
+		// the fold below runs in fixed shard order.  Shards with no work
+		// below end are skipped; their runBefore would be a no-op.
 		for i := 1; i < len(s.shards); i++ {
-			s.shards[i].runBefore(end)
+			if at, ok := s.shards[i].headAt(); ok && at < end {
+				s.runShard(i, end)
+			}
 		}
 	} else {
 		s.dispatch(end)
 	}
+	if s.prof != nil {
+		s.prof.PhaseStart(PhaseFold)
+	}
 	for _, fn := range s.folds {
 		fn()
 	}
+	if s.prof != nil {
+		s.prof.PhaseEnd(PhaseFold)
+		s.prof.WindowEnd(busy)
+	}
 	return true
+}
+
+// runShard executes shard i's slice of the current window, attributing
+// busy time and fired events to the profiler when one is attached.  The
+// profiled and unprofiled paths run the identical runBefore call — the
+// hooks only bracket it, which is what keeps profiling observationally
+// free.
+func (s *Sharded) runShard(i int, end int64) {
+	e := s.shards[i]
+	if s.prof == nil {
+		e.runBefore(end)
+		return
+	}
+	if at, ok := e.headAt(); !ok || at >= end {
+		return // no work below end: runBefore would be a no-op
+	}
+	s.prof.ShardStart(i)
+	f0 := e.Fired
+	e.runBefore(end)
+	s.prof.ShardEnd(i, e.Fired-f0)
 }
 
 // dispatch runs phase B across the worker pool: executor 0 is the
@@ -386,8 +438,14 @@ func (s *Sharded) dispatch(end int64) {
 	//redvet:detsafe — barrier release: the atomic epoch store publishes curEnd and all pre-phase state to the workers (store-release / load-acquire pairing)
 	s.epoch.Add(1)
 	s.runShare(0, end)
+	if s.prof != nil {
+		s.prof.PhaseStart(PhaseBarrier)
+	}
 	for s.done.Load() != uint64(s.workers-1) { //redvet:detsafe — barrier wait: spin until every worker finished the window; the atomic load pairs with the workers' done.Add
 		runtime.Gosched()
+	}
+	if s.prof != nil {
+		s.prof.PhaseEnd(PhaseBarrier)
 	}
 	if s.panicked.Load() { //redvet:detsafe — post-barrier check of the forwarded worker panic; ordered after the done counter
 		s.Close()
@@ -437,7 +495,7 @@ func (s *Sharded) runShare(w int, end int64) {
 		}
 	}()
 	for i := w + 1; i < len(s.shards); i += s.workers {
-		s.shards[i].runBefore(end)
+		s.runShard(i, end)
 	}
 }
 
@@ -462,14 +520,33 @@ func (s *Sharded) Close() {
 // sharded run; panics from any shard (event limit, scheduling in the
 // past, component invariants) surface on the calling goroutine.
 func (s *Sharded) Run() int64 {
+	if s.prof != nil {
+		s.prof.RunStart(len(s.shards), s.workers, s.window)
+		defer s.prof.RunEnd()
+	}
 	for {
-		s.mergeAll()
+		s.mergeAllProf()
 		base, ok := s.nextBase()
 		if !ok {
 			return s.shards[0].Now()
 		}
-		s.runWindow(base + s.window)
+		end := base + s.window
+		if s.prof != nil {
+			s.prof.WindowStart(base, end)
+		}
+		s.runWindow(end)
 	}
+}
+
+// mergeAllProf is mergeAll bracketed by the profiler's merge phase.
+func (s *Sharded) mergeAllProf() {
+	if s.prof == nil {
+		s.mergeAll()
+		return
+	}
+	s.prof.PhaseStart(PhaseMerge)
+	s.mergeAll()
+	s.prof.PhaseEnd(PhaseMerge)
 }
 
 // RunWithin executes windows until the run drains or the earliest
@@ -477,8 +554,12 @@ func (s *Sharded) Run() int64 {
 // sharded analog of Engine.RunWithin, with the same convention that
 // the clock is never forced to the deadline.
 func (s *Sharded) RunWithin(deadline int64) bool {
+	if s.prof != nil {
+		s.prof.RunStart(len(s.shards), s.workers, s.window)
+		defer s.prof.RunEnd()
+	}
 	for {
-		s.mergeAll()
+		s.mergeAllProf()
 		base, ok := s.nextBase()
 		if !ok {
 			return true
@@ -486,6 +567,10 @@ func (s *Sharded) RunWithin(deadline int64) bool {
 		if base > deadline {
 			return false
 		}
-		s.runWindow(min(base+s.window, deadline+1))
+		end := min(base+s.window, deadline+1)
+		if s.prof != nil {
+			s.prof.WindowStart(base, end)
+		}
+		s.runWindow(end)
 	}
 }

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"redcache/internal/hbm"
+	"redcache/internal/obs/prof"
+	"redcache/internal/sim"
+)
+
+// ShardProfile runs one (workload, arch) pair on the sharded engine
+// with the wall-clock profiler attached and returns the attribution
+// report — the `redbench -fig shardprof` backing.  The run is separate
+// from the memoized figure results: profiling is observationally free,
+// but the sharded schedule itself differs from the serial one the
+// figures use.
+func (s *Suite) ShardProfile(label string, arch hbm.Arch, workers int) (*prof.Report, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("experiments: shard profile needs workers > 0, got %d", workers)
+	}
+	t, err := s.traceFor(label)
+	if err != nil {
+		return nil, err
+	}
+	cfg := *s.Sys
+	res, err := sim.Run(&cfg, arch, t, &sim.Options{
+		Faults:          s.Faults,
+		InvariantCycles: s.InvariantCycles,
+		ShardWorkers:    workers,
+		Profile:         &prof.Options{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := res.Profile.Report()
+	if r == nil {
+		return nil, fmt.Errorf("experiments: %s/%s produced no sharded plan to profile (no shardable channels)", label, arch)
+	}
+	return r, nil
+}
+
+// WriteShardProfileTable renders the per-shard attribution for one or
+// more profiled runs as the figure-style text block.
+func WriteShardProfileTable(w io.Writer, label string, arch hbm.Arch, r *prof.Report) {
+	fmt.Fprintf(w, "%s/%s: %d shards, %d workers, window %d cycles, %d windows\n",
+		label, arch, r.Shards, r.Workers, r.Window, r.Windows)
+	fmt.Fprintf(w, "  shard_busy_frac %.3f  barrier_frac %.3f  merge_frac %.3f  imbalance %.3f\n",
+		r.ShardBusyFrac(), r.BarrierFrac(), r.MergeFrac(), r.Imbalance())
+	for i := 0; i < r.Shards; i++ {
+		fmt.Fprintf(w, "  shard %d: %12d events  %d/%d active windows  busy %.1f%% of run\n",
+			i, r.Fired[i], r.ActiveWindows[i], r.Windows,
+			100*busyFrac(r, i))
+	}
+}
+
+func busyFrac(r *prof.Report, shard int) float64 {
+	if r.RunNs <= 0 {
+		return 0
+	}
+	return float64(r.BusyNs[shard]) / float64(r.RunNs)
+}
+
+// ShardProfileCSV renders the deterministic schedule-derived summary
+// for the -csv output path.
+func ShardProfileCSV(label string, arch hbm.Arch, r *prof.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload,arch,shard,events,active_windows,windows\n")
+	for i := 0; i < r.Shards; i++ {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d\n", label, arch, i, r.Fired[i], r.ActiveWindows[i], r.Windows)
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package prof
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// Manifest is the run-provenance stamp attached to every profiler
+// artifact (trace JSON, CSV summary, BENCH rows): enough to answer
+// "what exactly produced this file?" months later.  Every field except
+// GoVersion and NumCPU is deterministic for a given invocation; those
+// two describe the host and are excluded from StampLines used in
+// byte-compared artifacts' deterministic sections only via the
+// trace/CSV writers' choice of which lines to emit.
+type Manifest struct {
+	ConfigHash string `json:"config_hash"` // sha256 over the resolved config
+	Workload   string `json:"workload"`
+	Arch       string `json:"arch"`
+	Scale      string `json:"scale"`
+	Seed       int64  `json:"seed"`
+	FaultSeed  int64  `json:"fault_seed,omitempty"`
+	Faults     string `json:"faults,omitempty"`
+	Shards     int    `json:"shards"`
+	Workers    int    `json:"workers"`
+	Window     int64  `json:"window_cycles"`
+	Plan       string `json:"shard_plan"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// Host stamps the host-environment fields; everything else is the
+// caller's (deterministic) run description.
+func (m *Manifest) Host() *Manifest {
+	m.GoVersion = runtime.Version()
+	m.NumCPU = runtime.NumCPU()
+	return m
+}
+
+// HashConfig fingerprints any resolved configuration value by hashing
+// its exhaustive %+v rendering — cheap, dependency-free, and stable
+// for the plain structs the simulator's configs are made of.
+func HashConfig(cfg any) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", cfg)))
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// StampLines renders the deterministic provenance fields as key=value
+// lines for `#` comment stamps in the CSV summary.  Host fields
+// (go version, CPU count) are deliberately excluded so stamped files
+// stay byte-comparable across machines; they remain in the JSON forms.
+func (m *Manifest) StampLines() []string {
+	lines := []string{
+		"config_hash=" + m.ConfigHash,
+		fmt.Sprintf("workload=%s arch=%s scale=%s seed=%d", m.Workload, m.Arch, m.Scale, m.Seed),
+		fmt.Sprintf("shards=%d workers=%d window_cycles=%d", m.Shards, m.Workers, m.Window),
+	}
+	if m.Faults != "" {
+		lines = append(lines, fmt.Sprintf("faults=%s faultseed=%d", m.Faults, m.FaultSeed))
+	}
+	if m.Plan != "" {
+		lines = append(lines, "plan="+m.Plan)
+	}
+	return lines
+}
+
+// WriteJSON renders the full manifest (host fields included) as
+// indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

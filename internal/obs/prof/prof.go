@@ -1,0 +1,323 @@
+// Package prof is the wall-clock parallelism profiler for sharded runs:
+// it implements engine.ShardProfiler and attributes real (host) time to
+// the phases of the windowed schedule — per-shard busy time, barrier
+// wait, inbox merges, and shadow folds — plus schedule-derived counts:
+// events fired per shard, the cross-shard traffic matrix, and
+// window-occupancy histograms.
+//
+// The package is the simulator's only sanctioned wall-clock domain
+// besides CLI progress timing: every time read lives behind nowNs with
+// a justified //redvet:wallclock annotation, and nothing measured here
+// ever feeds back into simulated state.  Profiling is therefore
+// *observationally free* — a profiled run produces byte-identical
+// Results, telemetry, and invariant verdicts (pinned by the sharded
+// byte-identity matrix and the CI profiler smoke).  The wall-clock
+// numbers themselves are of course host- and run-dependent; everything
+// the deterministic CSV summary exports is derived from the schedule
+// alone and is byte-identical run to run.
+//
+// Memory is O(1) in run length, the obs idiom: aggregates are fixed
+// arrays sized by the shard count, and the per-thread timeline rings
+// retain the last SliceCap spans each, dropping the oldest (reported,
+// never silent).
+package prof
+
+import (
+	"time"
+
+	"redcache/internal/engine"
+)
+
+// DefaultSliceCap bounds retained timeline spans per thread (shard or
+// coordinator) when Options.SliceCap is zero.
+const DefaultSliceCap = 8192
+
+// Options configure one run's profiler.
+type Options struct {
+	// SliceCap bounds retained timeline spans per thread
+	// (DefaultSliceCap when 0).  The aggregates always cover the whole
+	// run; only the exported Perfetto timeline is windowed to the tail.
+	SliceCap int
+}
+
+// sliceKind names one timeline span type.
+type sliceKind uint8
+
+const (
+	sliceBusy    sliceKind = iota // one shard's window execution
+	sliceMerge                    // coordinator inbox merge
+	sliceBarrier                  // coordinator barrier wait
+	sliceFold                     // coordinator shadow folds
+	sliceWindow                   // whole window (coordinator)
+)
+
+var sliceNames = [...]string{"busy", "merge", "barrier", "fold", "window"}
+
+// slice is one retained timeline span.  t0/dur are nanoseconds on the
+// profiler's monotonic clock (0 = first RunStart); a/b/c are
+// kind-specific: busy carries (events, window, 0), window carries
+// (base, end, occupancy) in cycles.
+type slice struct {
+	kind    sliceKind
+	win     uint64
+	t0, dur int64
+	a, b, c int64
+}
+
+// sliceRing is a fixed-capacity drop-oldest span buffer, one per
+// thread so phase-B workers never contend on a shared ring.
+type sliceRing struct {
+	buf     []slice
+	head, n int
+	dropped int64
+}
+
+func (r *sliceRing) push(s slice) {
+	if len(r.buf) == 0 {
+		return
+	}
+	pos := r.head + r.n
+	if pos >= len(r.buf) {
+		pos -= len(r.buf)
+	}
+	if r.n == len(r.buf) {
+		r.head++
+		if r.head == len(r.buf) {
+			r.head = 0
+		}
+		r.dropped++
+	} else {
+		r.n++
+	}
+	r.buf[pos] = s
+}
+
+func (r *sliceRing) at(i int) slice {
+	pos := r.head + i
+	if pos >= len(r.buf) {
+		pos -= len(r.buf)
+	}
+	return r.buf[pos]
+}
+
+// Profiler accumulates one sharded run's wall-clock attribution.  It
+// implements engine.ShardProfiler; construct with New, attach via
+// engine.Sharded.SetProfiler (sim.Options.Profile does both), read
+// results through Report after the run.
+//
+// Threading: the engine invokes ShardStart/ShardEnd on whichever
+// executor runs a shard's window; all per-shard state is indexed by
+// shard, distinct shards never share a slot or a ring, and the
+// coordinator's epoch/done barrier orders every phase-B write before
+// the coordinator-side reads — the same phase-separation argument the
+// controllers' shadow statistics rely on, exercised under -race by the
+// sharded test matrix.
+type Profiler struct {
+	opt Options
+
+	// base anchors the monotonic clock; set at New so every span is
+	// relative to profiler construction.
+	base time.Time
+
+	shards, workers int
+	window          int64
+	plan            string
+
+	started bool
+	spanT0  int64 // current RunStart..RunEnd span (-1 when idle)
+	runNs   int64 // accumulated profiled-span wall time
+
+	windows uint64 // completed windows
+	winT0   int64
+	winBase int64
+	winEnd  int64
+
+	busyNs []int64  // per-shard busy nanoseconds
+	t0     []int64  // per-shard open ShardStart stamp
+	fired  []uint64 // per-shard events executed
+	active []uint64 // per-shard windows with at least one event
+
+	phaseNs [engine.NumShardPhases]int64
+	phaseT0 [engine.NumShardPhases]int64
+	phaseN  [engine.NumShardPhases]uint64
+
+	occ   []uint64 // windows by phase-B occupancy (busy channel shards)
+	posts []uint64 // cross-shard posts merged, [dst*shards+src]
+
+	rings []sliceRing // [0..shards-1] shard busy spans; [shards] coordinator
+}
+
+// New builds an idle profiler; the engine's first RunStart sizes the
+// per-shard state.
+func New(o Options) *Profiler {
+	if o.SliceCap <= 0 {
+		o.SliceCap = DefaultSliceCap
+	}
+	return &Profiler{opt: o, base: newBase(), spanT0: -1}
+}
+
+// newBase anchors the profiler's monotonic clock.
+func newBase() time.Time {
+	return time.Now() //redvet:wallclock — prof is the sanctioned wall-clock domain: host-time attribution of the parallel schedule, never fed back into simulated state (DESIGN.md §12)
+}
+
+// nowNs reads the profiler's monotonic clock in nanoseconds since New.
+// This is the only wall-clock read on the profiling hot path; Go's
+// monotonic time makes the exported timeline immune to clock steps.
+func (p *Profiler) nowNs() int64 {
+	return time.Since(p.base).Nanoseconds() //redvet:wallclock — prof is the sanctioned wall-clock domain: host-time attribution of the parallel schedule, never fed back into simulated state (DESIGN.md §12)
+}
+
+// SetPlan records the human-readable shard placement (who wired which
+// controller to which shard range) for reports and manifests.
+func (p *Profiler) SetPlan(plan string) {
+	if p != nil {
+		p.plan = plan
+	}
+}
+
+// Shards, Workers, Window, and Plan expose the run geometry recorded at
+// RunStart for manifest stamping.
+func (p *Profiler) Shards() int     { return p.shards }
+func (p *Profiler) Workers() int    { return p.workers }
+func (p *Profiler) Window() int64   { return p.window }
+func (p *Profiler) Plan() string    { return p.plan }
+func (p *Profiler) Windows() uint64 { return p.windows }
+
+// RunStart opens a profiled span.  The first call sizes the per-shard
+// state; later calls (the drain settle is a second engine.Run) only
+// reopen the span, so one profiler accumulates across every run phase
+// of a simulation.
+func (p *Profiler) RunStart(shards, workers int, window int64) {
+	if p == nil {
+		return
+	}
+	if !p.started {
+		p.started = true
+		p.shards, p.workers, p.window = shards, workers, window
+		p.busyNs = make([]int64, shards)
+		p.t0 = make([]int64, shards)
+		p.fired = make([]uint64, shards)
+		p.active = make([]uint64, shards)
+		p.occ = make([]uint64, shards) // occupancy ranges over 0..shards-1
+		p.posts = make([]uint64, shards*shards)
+		p.rings = make([]sliceRing, shards+1)
+		for i := range p.rings {
+			p.rings[i].buf = make([]slice, p.opt.SliceCap)
+		}
+	}
+	p.spanT0 = p.nowNs()
+}
+
+// RunEnd closes the current profiled span.
+func (p *Profiler) RunEnd() {
+	if p == nil || p.spanT0 < 0 {
+		return
+	}
+	p.runNs += p.nowNs() - p.spanT0
+	p.spanT0 = -1
+}
+
+// WindowStart begins window [base, end).
+func (p *Profiler) WindowStart(base, end int64) {
+	if p == nil {
+		return
+	}
+	p.winT0 = p.nowNs()
+	p.winBase, p.winEnd = base, end
+}
+
+// WindowEnd completes the current window with the given phase-B
+// occupancy (busy channel shards).
+func (p *Profiler) WindowEnd(occupancy int) {
+	if p == nil {
+		return
+	}
+	now := p.nowNs()
+	if occupancy >= 0 && occupancy < len(p.occ) {
+		p.occ[occupancy]++
+	}
+	p.rings[p.shards].push(slice{kind: sliceWindow, win: p.windows,
+		t0: p.winT0, dur: now - p.winT0,
+		a: p.winBase, b: p.winEnd, c: int64(occupancy)})
+	p.windows++
+}
+
+// PhaseStart begins one coordinator phase span.
+func (p *Profiler) PhaseStart(ph engine.ShardPhase) {
+	if p == nil {
+		return
+	}
+	p.phaseT0[ph] = p.nowNs()
+}
+
+// PhaseEnd completes one coordinator phase span.
+func (p *Profiler) PhaseEnd(ph engine.ShardPhase) {
+	if p == nil {
+		return
+	}
+	now := p.nowNs()
+	d := now - p.phaseT0[ph]
+	p.phaseNs[ph] += d
+	p.phaseN[ph]++
+	var kind sliceKind
+	switch ph {
+	case engine.PhaseMerge:
+		kind = sliceMerge
+	case engine.PhaseBarrier:
+		kind = sliceBarrier
+	default:
+		kind = sliceFold
+	}
+	p.rings[p.shards].push(slice{kind: kind, win: p.windows,
+		t0: p.phaseT0[ph], dur: d})
+}
+
+// ShardStart begins shard's execution of the current window.  Runs on
+// the executor that owns the shard this window; slots and rings are
+// per-shard, so concurrent calls for distinct shards never touch the
+// same state.
+func (p *Profiler) ShardStart(shard int) {
+	if p == nil {
+		return
+	}
+	p.t0[shard] = p.nowNs()
+}
+
+// ShardEnd completes shard's window execution with the events it fired.
+func (p *Profiler) ShardEnd(shard int, fired uint64) {
+	if p == nil {
+		return
+	}
+	now := p.nowNs()
+	d := now - p.t0[shard]
+	p.busyNs[shard] += d
+	p.fired[shard] += fired
+	if fired > 0 {
+		p.active[shard]++
+	}
+	p.rings[shard].push(slice{kind: sliceBusy, win: p.windows,
+		t0: p.t0[shard], dur: d, a: int64(fired)})
+}
+
+// Handoff records one (dst, src) inbox ring merge of n entries — the
+// cross-shard traffic matrix.  Coordinator-only, deterministic order.
+func (p *Profiler) Handoff(dst, src, n int) {
+	if p == nil {
+		return
+	}
+	p.posts[dst*p.shards+src] += uint64(n)
+}
+
+// DroppedSlices reports timeline spans evicted from the bounded rings
+// (the aggregates still cover them).
+func (p *Profiler) DroppedSlices() int64 {
+	if p == nil {
+		return 0
+	}
+	var n int64
+	for i := range p.rings {
+		n += p.rings[i].dropped
+	}
+	return n
+}

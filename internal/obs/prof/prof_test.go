@@ -1,0 +1,225 @@
+package prof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"redcache/internal/engine"
+)
+
+// drive pushes a synthetic three-window schedule through the profiler:
+// 2 channel shards plus the global shard, phases and hand-offs in the
+// coordinator order the engine uses.
+func drive(p *Profiler) {
+	p.RunStart(3, 2, 44)
+	for w := 0; w < 3; w++ {
+		p.PhaseStart(engine.PhaseMerge)
+		p.Handoff(1, 0, 4)
+		p.Handoff(2, 0, 3)
+		p.Handoff(0, 2, 1)
+		p.PhaseEnd(engine.PhaseMerge)
+		p.WindowStart(int64(w)*44, int64(w+1)*44)
+		p.ShardStart(0)
+		p.ShardEnd(0, 10)
+		p.ShardStart(1)
+		p.ShardEnd(1, 5)
+		if w > 0 { // shard 2 idle in window 0
+			p.ShardStart(2)
+			p.ShardEnd(2, 7)
+		}
+		p.PhaseStart(engine.PhaseBarrier)
+		p.PhaseEnd(engine.PhaseBarrier)
+		p.PhaseStart(engine.PhaseFold)
+		p.PhaseEnd(engine.PhaseFold)
+		occ := 1
+		if w > 0 {
+			occ = 2
+		}
+		p.WindowEnd(occ)
+	}
+	p.RunEnd()
+}
+
+func TestProfilerAggregates(t *testing.T) {
+	p := New(Options{})
+	p.SetPlan("shard0=cpu+uncore; test=shards 1-2")
+	drive(p)
+	r := p.Report()
+	if r == nil {
+		t.Fatal("Report() == nil after a driven run")
+	}
+	if r.Shards != 3 || r.Workers != 2 || r.Window != 44 {
+		t.Fatalf("geometry = (%d, %d, %d), want (3, 2, 44)", r.Shards, r.Workers, r.Window)
+	}
+	if r.Windows != 3 {
+		t.Fatalf("windows = %d, want 3", r.Windows)
+	}
+	if got := r.Fired[0]; got != 30 {
+		t.Errorf("shard 0 fired = %d, want 30", got)
+	}
+	if got := r.Fired[2]; got != 14 {
+		t.Errorf("shard 2 fired = %d, want 14", got)
+	}
+	if got := r.ActiveWindows[2]; got != 2 {
+		t.Errorf("shard 2 active windows = %d, want 2", got)
+	}
+	if r.Occupancy[1] != 1 || r.Occupancy[2] != 2 {
+		t.Errorf("occupancy histogram = %v, want [0 1 2]", r.Occupancy)
+	}
+	if got := r.Posts[1*3+0]; got != 12 {
+		t.Errorf("posts[1<-0] = %d, want 12", got)
+	}
+	if got := r.Posts[0*3+2]; got != 3 {
+		t.Errorf("posts[0<-2] = %d, want 3", got)
+	}
+	if r.RunNs <= 0 {
+		t.Errorf("RunNs = %d, want > 0", r.RunNs)
+	}
+	for i, b := range r.BusyNs {
+		if b < 0 {
+			t.Errorf("busyNs[%d] = %d, want >= 0", i, b)
+		}
+	}
+	// Fractions are host-dependent but must stay inside sane bounds.
+	for name, v := range map[string]float64{
+		"shard_busy_frac": r.ShardBusyFrac(),
+		"barrier_frac":    r.BarrierFrac(),
+		"merge_frac":      r.MergeFrac(),
+	} {
+		if v < 0 || v > 1.5 {
+			t.Errorf("%s = %v, want within [0, 1.5]", name, v)
+		}
+	}
+	if im := r.Imbalance(); im < 1 {
+		t.Errorf("imbalance = %v, want >= 1 (max/mean)", im)
+	}
+}
+
+// TestProfilerSecondRunAccumulates mirrors the drain settle: a second
+// RunStart must reopen the span on the same state, not reset it.
+func TestProfilerSecondRunAccumulates(t *testing.T) {
+	p := New(Options{})
+	drive(p)
+	drive(p)
+	r := p.Report()
+	if r.Windows != 6 {
+		t.Fatalf("windows after two runs = %d, want 6", r.Windows)
+	}
+	if got := r.Fired[0]; got != 60 {
+		t.Errorf("shard 0 fired after two runs = %d, want 60", got)
+	}
+}
+
+// TestNilProfilerSafe pins the obs idiom: every hook on a nil profiler
+// is a no-op, so call sites need no guards beyond the engine's own.
+func TestNilProfilerSafe(t *testing.T) {
+	var p *Profiler
+	p.RunStart(3, 2, 44)
+	p.WindowStart(0, 44)
+	p.PhaseStart(engine.PhaseMerge)
+	p.PhaseEnd(engine.PhaseMerge)
+	p.ShardStart(1)
+	p.ShardEnd(1, 5)
+	p.Handoff(1, 0, 4)
+	p.WindowEnd(1)
+	p.RunEnd()
+	p.SetPlan("x")
+	if p.Report() != nil {
+		t.Error("nil profiler Report() != nil")
+	}
+	if p.DroppedSlices() != 0 {
+		t.Error("nil profiler DroppedSlices() != 0")
+	}
+}
+
+// TestCSVDeterministic pins the CI cmp contract: the CSV summary is a
+// pure function of the schedule, so two identical schedules — despite
+// different wall-clock spans — render byte-identical files.
+func TestCSVDeterministic(t *testing.T) {
+	m := &Manifest{ConfigHash: "abc", Workload: "LU", Arch: "RedCache",
+		Scale: "tiny", Seed: 1, Shards: 3, Workers: 2, Window: 44,
+		Plan: "shard0=cpu+uncore; test=shards 1-2"}
+	var out [2]bytes.Buffer
+	for i := range out {
+		p := New(Options{})
+		drive(p)
+		if err := p.Report().WriteCSV(&out[i], m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+		t.Errorf("CSV summaries differ between identical schedules:\n%s\n--- vs ---\n%s",
+			out[0].String(), out[1].String())
+	}
+	csv := out[0].String()
+	for _, want := range []string{
+		"# config_hash=abc",
+		"# plan=shard0=cpu+uncore; test=shards 1-2",
+		"windows,,,3",
+		"shard_events,0,,30",
+		"handoff,1,0,12",
+	} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("CSV missing %q:\n%s", want, csv)
+		}
+	}
+	// Wall-clock values must never leak into the deterministic summary.
+	if strings.Contains(csv, "ns") {
+		t.Errorf("CSV contains nanosecond values:\n%s", csv)
+	}
+}
+
+// TestSliceRingDropOldest pins the bounded-memory contract.
+func TestSliceRingDropOldest(t *testing.T) {
+	p := New(Options{SliceCap: 8})
+	p.RunStart(2, 1, 44)
+	for w := 0; w < 20; w++ {
+		p.WindowStart(int64(w)*44, int64(w+1)*44)
+		p.ShardStart(1)
+		p.ShardEnd(1, 1)
+		p.WindowEnd(1)
+	}
+	p.RunEnd()
+	if got := p.rings[1].n; got != 8 {
+		t.Errorf("shard ring retained %d spans, want 8", got)
+	}
+	if p.DroppedSlices() == 0 {
+		t.Error("DroppedSlices() == 0 after overflowing the rings")
+	}
+	// The aggregates still cover every window.
+	if r := p.Report(); r.Windows != 20 || r.Fired[1] != 20 {
+		t.Errorf("aggregates = (%d windows, %d fired), want (20, 20)", r.Windows, r.Fired[1])
+	}
+}
+
+func TestManifestStampDeterministic(t *testing.T) {
+	m := (&Manifest{ConfigHash: "abc", Workload: "LU", Arch: "RedCache",
+		Scale: "tiny", Seed: 1, Faults: "default", FaultSeed: 7}).Host()
+	if m.GoVersion == "" || m.NumCPU <= 0 {
+		t.Fatalf("Host() left fields empty: %+v", m)
+	}
+	for _, line := range m.StampLines() {
+		if strings.Contains(line, m.GoVersion) {
+			t.Errorf("stamp line %q leaks the host go version into byte-compared output", line)
+		}
+	}
+	var b bytes.Buffer
+	if err := m.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"config_hash": "abc"`) {
+		t.Errorf("manifest JSON missing config_hash: %s", b.String())
+	}
+}
+
+func TestHashConfigStable(t *testing.T) {
+	type cfg struct{ A, B int }
+	h1, h2 := HashConfig(cfg{1, 2}), HashConfig(cfg{1, 2})
+	if h1 != h2 {
+		t.Errorf("HashConfig not stable: %s vs %s", h1, h2)
+	}
+	if HashConfig(cfg{1, 3}) == h1 {
+		t.Error("HashConfig ignores field changes")
+	}
+}

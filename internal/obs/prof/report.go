@@ -1,0 +1,238 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+
+	"redcache/internal/engine"
+)
+
+// Report is an immutable snapshot of a profiled run, split into two
+// domains: wall-clock aggregates (host-dependent, for the human report
+// and the BENCH fields) and schedule-derived counts (deterministic,
+// byte-identical run to run, for the CSV summary CI compares).
+type Report struct {
+	Shards  int
+	Workers int
+	Window  int64
+	Plan    string
+	Windows uint64
+
+	// Wall-clock domain (nanoseconds on the profiler's monotonic clock).
+	RunNs   int64
+	BusyNs  []int64
+	PhaseNs [engine.NumShardPhases]int64
+	PhaseN  [engine.NumShardPhases]uint64
+
+	// Deterministic domain.
+	Fired         []uint64
+	ActiveWindows []uint64
+	Occupancy     []uint64 // windows by phase-B occupancy
+	Posts         []uint64 // [dst*Shards+src] cross-shard posts merged
+
+	DroppedSlices int64
+}
+
+// Report snapshots the profiler after the run.  Call only once the
+// engine has returned (the barrier orders all executor writes first).
+func (p *Profiler) Report() *Report {
+	if p == nil || !p.started {
+		return nil
+	}
+	r := &Report{
+		Shards:  p.shards,
+		Workers: p.workers,
+		Window:  p.window,
+		Plan:    p.plan,
+		Windows: p.windows,
+		RunNs:   p.runNs,
+		PhaseNs: p.phaseNs,
+		PhaseN:  p.phaseN,
+
+		BusyNs:        append([]int64(nil), p.busyNs...),
+		Fired:         append([]uint64(nil), p.fired...),
+		ActiveWindows: append([]uint64(nil), p.active...),
+		Occupancy:     append([]uint64(nil), p.occ...),
+		Posts:         append([]uint64(nil), p.posts...),
+
+		DroppedSlices: p.DroppedSlices(),
+	}
+	if p.spanT0 >= 0 { // still inside a Run span; count it to now
+		r.RunNs += p.nowNs() - p.spanT0
+	}
+	return r
+}
+
+// channelBusy returns (sum, max, count) of busy ns over the channel
+// shards (1..Shards-1); shard 0 is the coordinator-side global shard
+// and is excluded from parallelism metrics.
+func (r *Report) channelBusy() (sum, max int64, n int) {
+	for i := 1; i < r.Shards && i < len(r.BusyNs); i++ {
+		b := r.BusyNs[i]
+		sum += b
+		if b > max {
+			max = b
+		}
+		n++
+	}
+	return sum, max, n
+}
+
+// ShardBusyFrac is the mean busy fraction of the channel shards: the
+// average share of profiled wall time each parallel shard spent
+// executing events.  1.0 would mean every channel shard was busy for
+// the whole run.
+func (r *Report) ShardBusyFrac() float64 {
+	sum, _, n := r.channelBusy()
+	if n == 0 || r.RunNs <= 0 {
+		return 0
+	}
+	return float64(sum) / (float64(r.RunNs) * float64(n))
+}
+
+// BarrierFrac is the share of profiled wall time the coordinator spent
+// spinning on the phase-B done barrier after finishing its own share —
+// pure wait, the direct cost of load imbalance.
+func (r *Report) BarrierFrac() float64 {
+	if r.RunNs <= 0 {
+		return 0
+	}
+	return float64(r.PhaseNs[engine.PhaseBarrier]) / float64(r.RunNs)
+}
+
+// MergeFrac is the share of profiled wall time spent draining
+// cross-shard inbox rings.
+func (r *Report) MergeFrac() float64 {
+	if r.RunNs <= 0 {
+		return 0
+	}
+	return float64(r.PhaseNs[engine.PhaseMerge]) / float64(r.RunNs)
+}
+
+// Imbalance is max/mean busy time over the channel shards: 1.0 is a
+// perfectly balanced plan, 2.0 means the hottest shard worked twice
+// the average — the window barrier makes every window as slow as its
+// hottest shard, so this bounds the achievable speedup.
+func (r *Report) Imbalance() float64 {
+	sum, max, n := r.channelBusy()
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(n)
+	return float64(max) / mean
+}
+
+var phaseNames = [engine.NumShardPhases]string{"merge", "barrier", "fold"}
+
+// WriteText renders the human-readable profile.  It mixes wall-clock
+// numbers with deterministic counts, so it belongs on stderr (redsim)
+// or a log — never in byte-compared output.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "shard profile: %d shards, %d workers, window %d cycles, %d windows, %.6fs profiled wall\n",
+		r.Shards, r.Workers, r.Window, r.Windows, float64(r.RunNs)/1e9)
+	if r.Plan != "" {
+		fmt.Fprintf(w, "  plan: %s\n", r.Plan)
+	}
+	for ph := engine.ShardPhase(0); ph < engine.NumShardPhases; ph++ {
+		fmt.Fprintf(w, "  phase %-8s %10.6fs over %d spans (%.1f%% of run)\n",
+			phaseNames[ph]+":", float64(r.PhaseNs[ph])/1e9, r.PhaseN[ph],
+			pct(r.PhaseNs[ph], r.RunNs))
+	}
+	for i := 0; i < r.Shards; i++ {
+		role := "channel"
+		if i == 0 {
+			role = "global "
+		}
+		fmt.Fprintf(w, "  shard %d (%s) busy %10.6fs (%5.1f%%)  %12d events  %d/%d active windows\n",
+			i, role, float64(r.BusyNs[i])/1e9, pct(r.BusyNs[i], r.RunNs),
+			r.Fired[i], r.ActiveWindows[i], r.Windows)
+	}
+	fmt.Fprintf(w, "  shard_busy_frac %.4f  barrier_frac %.4f  merge_frac %.4f  imbalance %.4f\n",
+		r.ShardBusyFrac(), r.BarrierFrac(), r.MergeFrac(), r.Imbalance())
+	fmt.Fprintf(w, "  occupancy (busy channel shards per window):")
+	for occ, n := range r.Occupancy {
+		if n > 0 {
+			fmt.Fprintf(w, " %d:%d", occ, n)
+		}
+	}
+	fmt.Fprintln(w)
+	any := false
+	for dst := 0; dst < r.Shards; dst++ {
+		for src := 0; src < r.Shards; src++ {
+			if n := r.Posts[dst*r.Shards+src]; n > 0 {
+				if !any {
+					fmt.Fprintf(w, "  handoffs (dst<-src:posts):")
+					any = true
+				}
+				fmt.Fprintf(w, " %d<-%d:%d", dst, src, n)
+			}
+		}
+	}
+	if any {
+		fmt.Fprintln(w)
+	}
+	if r.DroppedSlices > 0 {
+		fmt.Fprintf(w, "  timeline: %d oldest spans dropped (raise prof slice cap to keep more)\n",
+			r.DroppedSlices)
+	}
+}
+
+func pct(part, whole int64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// WriteCSV renders the deterministic summary: schedule-derived counts
+// only, so two runs of the same (config, seed, faultseed) produce
+// byte-identical files regardless of host, workers, or wall time —
+// the property the CI profiler smoke pins with cmp.  The manifest is
+// stamped as leading comment lines; its wall-free fields are
+// deterministic too.
+func (r *Report) WriteCSV(w io.Writer, m *Manifest) error {
+	bw := &errWriter{w: w}
+	fmt.Fprintf(bw, "# redcache shardprof v1 (deterministic: schedule-derived counts only)\n")
+	if m != nil {
+		for _, line := range m.StampLines() {
+			fmt.Fprintf(bw, "# %s\n", line)
+		}
+	}
+	fmt.Fprintf(bw, "metric,i,j,value\n")
+	fmt.Fprintf(bw, "shards,,,%d\n", r.Shards)
+	fmt.Fprintf(bw, "window_cycles,,,%d\n", r.Window)
+	fmt.Fprintf(bw, "windows,,,%d\n", r.Windows)
+	for i := 0; i < r.Shards; i++ {
+		fmt.Fprintf(bw, "shard_events,%d,,%d\n", i, r.Fired[i])
+	}
+	for i := 0; i < r.Shards; i++ {
+		fmt.Fprintf(bw, "shard_active_windows,%d,,%d\n", i, r.ActiveWindows[i])
+	}
+	for occ, n := range r.Occupancy {
+		fmt.Fprintf(bw, "occupancy,%d,,%d\n", occ, n)
+	}
+	for dst := 0; dst < r.Shards; dst++ {
+		for src := 0; src < r.Shards; src++ {
+			fmt.Fprintf(bw, "handoff,%d,%d,%d\n", dst, src, r.Posts[dst*r.Shards+src])
+		}
+	}
+	return bw.err
+}
+
+// errWriter latches the first write error so the CSV emitters stay
+// uncluttered (the telemetry writers' idiom).
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, nil
+}

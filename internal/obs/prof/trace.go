@@ -1,0 +1,184 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event JSON (the "JSON Array Format with metadata"
+// variant): https://ui.perfetto.dev loads it directly.  One process
+// (pid 1) models the run; each shard is a thread (tid = shard index)
+// and the coordinator's window/merge/barrier/fold spans live on an
+// extra thread (tid = Shards).  All spans are "X" (complete) events
+// with ts/dur in microseconds on the profiler's monotonic clock.
+
+// traceEvent is one trace-event object, shared by the writer and the
+// validator.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+const tracePid = 1
+
+// WriteTrace exports the retained timeline as Perfetto-loadable JSON.
+// Metadata ("M") events name the process and threads first; then each
+// thread's spans follow sorted by (start, -duration) so enclosing spans
+// (a window) precede the spans they contain (its barrier and folds),
+// which keeps per-tid timestamps monotonic — the property
+// ValidateTrace and the schema test pin.  The manifest rides along in
+// otherData.
+func (p *Profiler) WriteTrace(w io.Writer, m *Manifest) error {
+	tf := traceFile{DisplayTimeUnit: "ms"}
+	tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": "redsim sharded run"},
+	})
+	threadName := func(tid int) string {
+		switch {
+		case tid == 0:
+			return "shard 0 (global)"
+		case tid == p.shards:
+			return "coordinator"
+		default:
+			return fmt.Sprintf("shard %d (channel)", tid)
+		}
+	}
+	for tid := 0; tid <= p.shards; tid++ {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: tid,
+			Args: map[string]any{"name": threadName(tid)},
+		})
+	}
+
+	for tid := 0; tid <= p.shards; tid++ {
+		ring := &p.rings[tid]
+		spans := make([]slice, ring.n)
+		for i := range spans {
+			spans[i] = ring.at(i)
+		}
+		sort.SliceStable(spans, func(a, b int) bool {
+			if spans[a].t0 != spans[b].t0 {
+				return spans[a].t0 < spans[b].t0
+			}
+			return spans[a].dur > spans[b].dur
+		})
+		for _, s := range spans {
+			ev := traceEvent{
+				Name: sliceNames[s.kind], Ph: "X", Pid: tracePid, Tid: tid,
+				Ts:   float64(s.t0) / 1e3,
+				Args: map[string]any{"window": s.win},
+			}
+			dur := float64(s.dur) / 1e3
+			ev.Dur = &dur
+			switch s.kind {
+			case sliceBusy:
+				ev.Name = fmt.Sprintf("shard %d", tid)
+				ev.Args["events"] = s.a
+			case sliceWindow:
+				ev.Name = fmt.Sprintf("window %d", s.win)
+				ev.Args["base_cycle"] = s.a
+				ev.Args["end_cycle"] = s.b
+				ev.Args["occupancy"] = s.c
+			}
+			tf.TraceEvents = append(tf.TraceEvents, ev)
+		}
+	}
+
+	if m != nil {
+		raw, err := json.Marshal(m)
+		if err != nil {
+			return err
+		}
+		var md map[string]any
+		if err := json.Unmarshal(raw, &md); err != nil {
+			return err
+		}
+		tf.OtherData = md
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// ValidateTrace checks a trace file against the schema the exporter
+// promises: parseable JSON with a non-empty traceEvents array; "M"
+// metadata declaring the process and one thread per tid before any
+// span; every span an "X" event on the declared pid with a declared
+// tid, non-negative ts/dur, and per-tid monotonically non-decreasing
+// timestamps.  The schema test and the CI profiler smoke both run it.
+func ValidateTrace(rd io.Reader) error {
+	var tf traceFile
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&tf); err != nil {
+		return fmt.Errorf("trace: decode: %w", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("trace: empty traceEvents")
+	}
+	tids := map[int]bool{}
+	lastTs := map[int]float64{}
+	sawProcess := false
+	sawSpan := false
+	for i, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if sawSpan {
+				return fmt.Errorf("trace: event %d: metadata after spans", i)
+			}
+			switch ev.Name {
+			case "process_name":
+				sawProcess = true
+			case "thread_name":
+				if tids[ev.Tid] {
+					return fmt.Errorf("trace: event %d: duplicate thread_name for tid %d", i, ev.Tid)
+				}
+				tids[ev.Tid] = true
+			default:
+				return fmt.Errorf("trace: event %d: unknown metadata %q", i, ev.Name)
+			}
+		case "X":
+			sawSpan = true
+			if ev.Name == "" {
+				return fmt.Errorf("trace: event %d: empty name", i)
+			}
+			if ev.Pid != tracePid {
+				return fmt.Errorf("trace: event %d: pid %d, want %d", i, ev.Pid, tracePid)
+			}
+			if !tids[ev.Tid] {
+				return fmt.Errorf("trace: event %d: span on undeclared tid %d", i, ev.Tid)
+			}
+			if ev.Ts < 0 {
+				return fmt.Errorf("trace: event %d: negative ts %v", i, ev.Ts)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return fmt.Errorf("trace: event %d: missing or negative dur", i)
+			}
+			if prev, ok := lastTs[ev.Tid]; ok && ev.Ts < prev {
+				return fmt.Errorf("trace: event %d: ts %v before %v on tid %d (not monotonic)", i, ev.Ts, prev, ev.Tid)
+			}
+			lastTs[ev.Tid] = ev.Ts
+		default:
+			return fmt.Errorf("trace: event %d: unsupported phase %q", i, ev.Ph)
+		}
+	}
+	if !sawProcess {
+		return fmt.Errorf("trace: missing process_name metadata")
+	}
+	if !sawSpan {
+		return fmt.Errorf("trace: no span events")
+	}
+	return nil
+}

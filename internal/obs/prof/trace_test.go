@@ -1,0 +1,126 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestValidateExternalTrace validates a trace file named by the
+// REDCACHE_TRACE environment variable — the CI profiler smoke points
+// it at a trace redsim actually wrote, closing the loop between the
+// exporter in production and the schema the tests pin.  Skipped when
+// the variable is unset.
+func TestValidateExternalTrace(t *testing.T) {
+	path := os.Getenv("REDCACHE_TRACE")
+	if path == "" {
+		t.Skip("REDCACHE_TRACE not set")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ValidateTrace(f); err != nil {
+		t.Fatalf("%s fails the trace schema: %v", path, err)
+	}
+}
+
+// TestTraceSchema is the Perfetto schema test: the exported JSON must
+// pass its own validator — metadata before spans, declared pid/tid
+// mapping, per-tid monotonic timestamps — and carry the manifest.
+func TestTraceSchema(t *testing.T) {
+	p := New(Options{})
+	drive(p)
+	m := &Manifest{ConfigHash: "abc", Workload: "LU", Arch: "RedCache",
+		Scale: "tiny", Seed: 1, Shards: 3, Workers: 2, Window: 44}
+	var b bytes.Buffer
+	if err := p.WriteTrace(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(bytes.NewReader(b.Bytes())); err != nil {
+		t.Fatalf("exported trace fails its own validator: %v", err)
+	}
+
+	var tf traceFile
+	if err := json.Unmarshal(b.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	// One thread per shard plus the coordinator, declared before spans.
+	threads := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			threads++
+		}
+	}
+	if threads != 4 {
+		t.Errorf("thread_name metadata count = %d, want 4 (3 shards + coordinator)", threads)
+	}
+	// Window spans live on the coordinator thread and carry cycle args.
+	sawWindow := false
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" && strings.HasPrefix(ev.Name, "window ") {
+			sawWindow = true
+			if ev.Tid != 3 {
+				t.Errorf("window span on tid %d, want coordinator tid 3", ev.Tid)
+			}
+			if _, ok := ev.Args["base_cycle"]; !ok {
+				t.Errorf("window span missing base_cycle arg: %+v", ev.Args)
+			}
+		}
+	}
+	if !sawWindow {
+		t.Error("trace has no window spans")
+	}
+	if tf.OtherData["config_hash"] != "abc" {
+		t.Errorf("otherData config_hash = %v, want abc", tf.OtherData["config_hash"])
+	}
+}
+
+// TestValidateTraceRejects feeds the validator deliberately broken
+// traces; each must fail with a mention of the violated rule.
+func TestValidateTraceRejects(t *testing.T) {
+	meta := `{"name":"process_name","ph":"M","pid":1,"args":{"name":"p"}},
+		{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"t0"}}`
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"empty events", `{"traceEvents":[]}`, "empty"},
+		{"not json", `{`, "decode"},
+		{"no spans", `{"traceEvents":[` + meta + `]}`, "no span"},
+		{"undeclared tid",
+			`{"traceEvents":[` + meta + `,{"name":"x","ph":"X","pid":1,"tid":9,"ts":1,"dur":1}]}`,
+			"undeclared tid"},
+		{"wrong pid",
+			`{"traceEvents":[` + meta + `,{"name":"x","ph":"X","pid":7,"tid":0,"ts":1,"dur":1}]}`,
+			"pid"},
+		{"missing dur",
+			`{"traceEvents":[` + meta + `,{"name":"x","ph":"X","pid":1,"tid":0,"ts":1}]}`,
+			"dur"},
+		{"non-monotonic ts",
+			`{"traceEvents":[` + meta + `,
+			{"name":"a","ph":"X","pid":1,"tid":0,"ts":5,"dur":1},
+			{"name":"b","ph":"X","pid":1,"tid":0,"ts":2,"dur":1}]}`,
+			"not monotonic"},
+		{"metadata after spans",
+			`{"traceEvents":[` + meta + `,
+			{"name":"a","ph":"X","pid":1,"tid":0,"ts":1,"dur":1},
+			{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"t1"}}]}`,
+			"metadata after spans"},
+		{"unsupported phase",
+			`{"traceEvents":[` + meta + `,{"name":"x","ph":"B","pid":1,"tid":0,"ts":1}]}`,
+			"phase"},
+	}
+	for _, tc := range cases {
+		err := ValidateTrace(strings.NewReader(tc.body))
+		if err == nil {
+			t.Errorf("%s: validator accepted a broken trace", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 
 	"redcache/internal/config"
 	"redcache/internal/hbm"
 	"redcache/internal/obs"
+	"redcache/internal/obs/prof"
 	"redcache/internal/workloads"
 )
 
@@ -45,6 +47,11 @@ func shardTelemetryCSV(t *testing.T, r *Result) string {
 
 func shardMatrixRun(t *testing.T, workload string, arch hbm.Arch, workers int, faults bool) *Result {
 	t.Helper()
+	return shardMatrixRunOpts(t, workload, arch, workers, faults, false)
+}
+
+func shardMatrixRunOpts(t *testing.T, workload string, arch hbm.Arch, workers int, faults, profiled bool) *Result {
+	t.Helper()
 	cfg := config.Tiny()
 	spec, err := workloads.ByLabel(workload)
 	if err != nil {
@@ -60,6 +67,9 @@ func shardMatrixRun(t *testing.T, workload string, arch hbm.Arch, workers int, f
 		f := config.DefaultFaults()
 		f.Seed = 7
 		opts.Faults = &f
+	}
+	if profiled {
+		opts.Profile = &prof.Options{}
 	}
 	res, err := Run(cfg, arch, tr, opts)
 	if err != nil {
@@ -103,6 +113,103 @@ func TestShardedByteIdentityMatrix(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestProfilerObservationallyFree pins the tentpole contract of
+// internal/obs/prof: attaching the profiler changes no observable run
+// output.  For every worker count in {1, 2, 4, auto}, the profiled
+// run's Result bytes, telemetry CSV bytes, and invariant verdicts must
+// be byte-identical to the unprofiled reference — and the profiler
+// must actually have recorded the schedule (windows, events, busy
+// time), so the comparison can't pass vacuously with a dormant
+// profiler.
+func TestProfilerObservationallyFree(t *testing.T) {
+	auto := runtime.GOMAXPROCS(0)
+	for _, workers := range []int{1, 2, 4, auto} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ref := shardMatrixRunOpts(t, "LU", hbm.ArchRedCache, workers, true, false)
+			got := shardMatrixRunOpts(t, "LU", hbm.ArchRedCache, workers, true, true)
+			if ref.Profile != nil {
+				t.Fatal("unprofiled run carries a Profile")
+			}
+			if want, have := shardResultString(ref), shardResultString(got); want != have {
+				t.Fatalf("profiling changed the Result bytes:\n--- without -prof\n%s\n--- with -prof\n%s",
+					want, have)
+			}
+			if want, have := shardTelemetryCSV(t, ref), shardTelemetryCSV(t, got); want != have {
+				t.Fatal("profiling changed the telemetry CSV bytes")
+			}
+			if ref.InvariantChecks != got.InvariantChecks || got.InvariantChecks == 0 {
+				t.Fatalf("invariant sweeps: unprofiled %d, profiled %d (want equal and > 0)",
+					ref.InvariantChecks, got.InvariantChecks)
+			}
+			rep := got.Profile.Report()
+			if rep == nil {
+				t.Fatal("profiled run produced no report")
+			}
+			if rep.Windows == 0 || rep.RunNs <= 0 {
+				t.Fatalf("profiler recorded nothing: %d windows, %d ns", rep.Windows, rep.RunNs)
+			}
+			var fired uint64
+			for _, f := range rep.Fired {
+				fired += f
+			}
+			if fired != got.EventsFired {
+				t.Fatalf("profiler counted %d events, engine fired %d", fired, got.EventsFired)
+			}
+		})
+	}
+}
+
+// TestProfileRequiresShardedPlan pins the wiring guard: profiling a
+// run with no parallel schedule is a configuration error, not a silent
+// no-op.
+func TestProfileRequiresShardedPlan(t *testing.T) {
+	cfg := config.Tiny()
+	spec, err := workloads.ByLabel("LU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := spec.Gen(cfg.CPU.Cores, workloads.Tiny, 1)
+	_, err = Run(cfg, hbm.ArchRedCache, tr, &Options{Profile: &prof.Options{}})
+	if err == nil {
+		t.Fatal("Profile without ShardWorkers did not error")
+	}
+}
+
+// TestShardMergeEventsDeterministic pins the cross-shard hand-off
+// coverage of the cycle-domain event trace: a sharded telemetry run
+// emits shard_merge events from the coordinator's deterministic
+// (dst, src) drain order — never from the parallel post itself — so
+// the events JSONL is byte-identical across worker counts.
+func TestShardMergeEventsDeterministic(t *testing.T) {
+	run := func(workers int) string {
+		cfg := config.Tiny()
+		spec, err := workloads.ByLabel("LU")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := spec.Gen(cfg.CPU.Cores, workloads.Tiny, 1)
+		res, err := Run(cfg, hbm.ArchRedCache, tr, &Options{
+			ShardWorkers: workers,
+			Telemetry:    &obs.Options{EpochCycles: 4096, TraceEvents: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteEventsJSONL(&buf, res.Telemetry.Tracer); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	one := run(1)
+	if !strings.Contains(one, `"shard_merge"`) {
+		t.Fatal("sharded event trace carries no shard_merge events")
+	}
+	if four := run(4); four != one {
+		t.Fatal("shard_merge event trace diverged between workers=1 and workers=4")
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"redcache/internal/hbm"
 	"redcache/internal/mem"
 	"redcache/internal/obs"
+	"redcache/internal/obs/prof"
 	"redcache/internal/stats"
 	"redcache/internal/trace"
 )
@@ -50,6 +51,13 @@ type Result struct {
 	// InvariantChecks counts completed online invariant sweeps when
 	// Options.InvariantCycles was set.
 	InvariantChecks int64
+
+	// Profile holds the wall-clock shard profiler when Options.Profile
+	// was set; nil otherwise.  It is deliberately NOT part of the
+	// simulation outcome: every other Result field is byte-identical
+	// with profiling on or off (the observational-freedom contract the
+	// sharded byte-identity matrix pins).
+	Profile *prof.Profiler
 }
 
 // Seconds converts cycles to wall time at the configured frequency.
@@ -114,6 +122,15 @@ type Options struct {
 	// the classic single-engine plan, whose event interleaving (and thus
 	// golden results) differs from the sharded schedule.
 	ShardWorkers int
+	// Profile, when set, attaches the wall-clock shard profiler
+	// (internal/obs/prof) to the sharded run and surfaces it as
+	// Result.Profile.  Requires ShardWorkers > 0 with at least one
+	// shardable channel — there is no parallel schedule to profile
+	// otherwise.  Profiling is observationally free: it reads the host
+	// clock but never simulated state-affecting values, so all other
+	// Result fields, telemetry, and invariant verdicts are byte-identical
+	// with or without it.
+	Profile *prof.Options
 }
 
 // Run simulates the trace on the given architecture and returns the
@@ -185,6 +202,7 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (res 
 	// configuration.  The window is the tightest ShardWindow bound among
 	// the sharded devices.
 	var shd *engine.Sharded
+	var planStr string
 	if opts.ShardWorkers > 0 {
 		type placed struct {
 			ctl   *dram.Controller
@@ -209,10 +227,22 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (res 
 		if extra > 0 {
 			shd = engine.NewSharded(eng, extra, window, opts.ShardWorkers)
 			defer shd.Close()
+			planStr = "shard0=cpu+uncore"
 			for _, p := range plan {
+				last := p.first + p.ctl.Channels() - 1
+				planStr += fmt.Sprintf("; %s=shards %d-%d", p.ctl.Name(), p.first, last)
 				p.ctl.SetSharding(shd, p.first)
 			}
 		}
+	}
+	if opts.Profile != nil {
+		if shd == nil {
+			return nil, fmt.Errorf("sim: profiling requires the sharded plan (ShardWorkers > 0 and at least one shardable channel)")
+		}
+		prf := prof.New(*opts.Profile)
+		prf.SetPlan(planStr)
+		shd.SetProfiler(prf)
+		res.Profile = prf
 	}
 
 	cx := cpu.NewComplex(eng, cfg, t, submitFunc(func(req *mem.Request) { ctl.Submit(req) }))
@@ -228,6 +258,14 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (res 
 		// channels, cache controller, CPU, L3.
 		tel.Tracer.SetClock(eng.Now)
 		if shd != nil {
+			// Cover shard boundaries in the cycle-domain event trace: one
+			// EvShardMerge per non-empty inbox ring, emitted on the
+			// coordinator in deterministic (dst, src) drain order — never
+			// from the parallel post itself, which would race on the ring.
+			trc := tel.Tracer
+			shd.SetMergeHook(func(dst, src, n int) {
+				trc.Emit(obs.EvShardMerge, uint64(dst), int64(src), int64(n))
+			})
 			// Same column names, whole-machine values: fired/pending sum
 			// over every shard heap and unmerged inbox.  Samples run on
 			// shard 0 between phases, when all shards are quiescent.
