@@ -15,6 +15,7 @@ import (
 	"redcache/internal/dram"
 	"redcache/internal/engine"
 	"redcache/internal/hbm"
+	"redcache/internal/lint"
 	"redcache/internal/mem"
 	"redcache/internal/obs"
 	"redcache/internal/obs/prof"
@@ -32,6 +33,7 @@ var (
 	benchMode   = flag.Bool("bench", false, "run the performance benchmark suite and write BENCH_<date>.json")
 	benchOut    = flag.String("benchout", "", "benchmark output path (default BENCH_<date>.json in the working directory)")
 	benchShards = flag.String("shards", "auto", "worker count for the sharded rows of the -bench end-to-end sweep: auto or N >= 1")
+	benchProof  = flag.String("proofstats", "", "redvet -proofstatsout JSON file to embed in the report as proof_stats")
 )
 
 // microResult is one testing.Benchmark measurement.
@@ -78,12 +80,17 @@ const e2eReps = 3
 // benchReport is the BENCH_<date>.json schema.  Arrays, not maps: the
 // file must be byte-stable given identical measurements.
 type benchReport struct {
-	Date       string        `json:"date"`
-	GoVersion  string        `json:"go_version"`
-	NumCPU     int           `json:"num_cpu"`
-	Micro      []microResult `json:"micro"`
-	EndToEnd   []e2eResult   `json:"end_to_end"`
-	SchemaNote string        `json:"schema_note"`
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	NumCPU    int           `json:"num_cpu"`
+	Micro     []microResult `json:"micro"`
+	EndToEnd  []e2eResult   `json:"end_to_end"`
+	// ProofStats, when -proofstats points at a redvet -proofstatsout
+	// file, records the statically discharged proof obligations at the
+	// commit the benchmarks ran at, so performance and proof coverage
+	// are snapshotted together.
+	ProofStats *lint.ProofStats `json:"proof_stats,omitempty"`
+	SchemaNote string           `json:"schema_note"`
 }
 
 func runBenchSuite() {
@@ -102,7 +109,16 @@ func runBenchSuite() {
 			"seconds over sharded best wall seconds on this host — num_cpu bounds the " +
 			"parallelism actually available, so a single-hardware-thread host measures " +
 			"sharding overhead, not scaling; sharded rows' shard_busy_frac/barrier_frac/" +
-			"imbalance come from one extra profiled repetition excluded from timing",
+			"imbalance come from one extra profiled repetition excluded from timing; " +
+			"proof_stats, when present, is the redvet -proofstatsout snapshot of statically " +
+			"discharged proof obligations for the same tree",
+	}
+	if *benchProof != "" {
+		data, err := os.ReadFile(*benchProof)
+		fatalIf(err)
+		var ps lint.ProofStats
+		fatalIf(json.Unmarshal(data, &ps))
+		rep.ProofStats = &ps
 	}
 
 	fmt.Fprintln(os.Stderr, "  benchmarking engine (Schedule→Step)...")

@@ -5,7 +5,13 @@
 // suite also carries the engine-sharding gate: detsched proves the sim
 // core free of scheduling nondeterminism, shardlocal proves annotated
 // per-shard state confined to its owning component, and fporder pins
-// the iteration order of float reductions.
+// the iteration order of float reductions.  v4 adds the sharded
+// engine's residual trust assumptions as structural proofs: statefold
+// (fold/merge/snapshot/delta/reset functions drop no stats field),
+// windowproof (every cross-shard deadline is anchored at the current
+// cycle and offset by >= ShardWindow()), and wallflow (wall-clock
+// reads never reach deterministic state).  -proofstats reports the
+// discharged obligation counts.
 //
 // Usage:
 //
@@ -24,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +45,8 @@ func main() {
 	fix := flag.Bool("fix", false, "print suggested fixes under each finding")
 	baselinePath := flag.String("baseline", "redvet.baseline", "baseline file sanctioning legacy findings (\"\" disables; missing file = empty baseline)")
 	factCache := flag.String("factcache", "", "directory for cached per-package analysis facts")
+	proofStats := flag.Bool("proofstats", false, "print discharged proof-obligation counts to stderr after the run")
+	proofStatsOut := flag.String("proofstatsout", "", "also write the proof-obligation counts as JSON to this file")
 	flag.Parse()
 
 	analyzers := lint.All()
@@ -71,6 +80,22 @@ func main() {
 	if *factCache != "" {
 		if err := session.SaveFactCache(*factCache); err != nil {
 			fmt.Fprintln(os.Stderr, "redvet: saving fact cache:", err)
+		}
+	}
+	if *proofStats || *proofStatsOut != "" {
+		ps := session.ProofStats()
+		if *proofStats {
+			fmt.Fprintf(os.Stderr, "redvet proofstats: %s\n", ps)
+		}
+		if *proofStatsOut != "" {
+			data, merr := json.MarshalIndent(ps, "", "\t")
+			if merr == nil {
+				merr = os.WriteFile(*proofStatsOut, append(data, '\n'), 0o644)
+			}
+			if merr != nil {
+				fmt.Fprintln(os.Stderr, "redvet: writing proofstats:", merr)
+				os.Exit(2)
+			}
 		}
 	}
 

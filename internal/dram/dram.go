@@ -458,6 +458,7 @@ func (c *Controller) foldShadows() {
 		c.iface.ReadBytes += sh.ReadBytes
 		c.iface.WriteBytes += sh.WriteBytes
 		c.iface.BusyCycles += sh.BusyCycles
+		c.iface.Requests += sh.Requests
 		c.iface.RowHits += sh.RowHits
 		c.iface.RowMisses += sh.RowMisses
 		c.iface.Activates += sh.Activates

@@ -108,6 +108,42 @@ func TestBaselineV3Analyzers(t *testing.T) {
 	}
 }
 
+// TestBaselineV4Analyzers checks the same contract for the v4 proof
+// analyzers: their entries round-trip through Filter, and entries left
+// behind after the finding is fixed surface as stale.
+func TestBaselineV4Analyzers(t *testing.T) {
+	doc := `{"analyzer":"statefold","file":"internal/dram/dram.go","message":"fold-family function foldShadows drops field Interface.Requests of base c.iface: fold, merge or reset it, or annotate the field //redvet:foldexempt with a justification","justification":"transitional, fold line lands with the sharded-stats rewrite"}
+{"analyzer":"windowproof","file":"internal/dram/dram.go","message":"PostTimed deadline dataEnd is not provably anchored at the engine's current cycle; derive it from the engine's current cycle plus a tCAS/tCWD-bounded term (ShardWindow()), or annotate the helper //redvet:windowsafe with a justification","justification":"deadline derived via issue(), proof closed in the follow-up"}
+{"analyzer":"wallflow","file":"internal/obs/prof/prof.go","message":"wall-clock-derived value stamp reaches (*redcache/internal/engine.Engine).RunUntil (an engine schedule argument); wall time may only flow to stderr reports and profiler artifacts, never into deterministic state or output","justification":"dead code path, removed with the profiler rewrite"}
+`
+	b, err := ParseBaseline([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	ds := []Diagnostic{
+		diag("statefold", "/repo/internal/dram/dram.go",
+			"fold-family function foldShadows drops field Interface.Requests of base c.iface: fold, merge or reset it, or annotate the field //redvet:foldexempt with a justification"),
+		diag("windowproof", "/repo/internal/hbm/red.go", "a brand new v4 finding"),
+	}
+	kept, stale := b.Filter("/repo", ds)
+	if len(kept) != 1 || kept[0].Message != "a brand new v4 finding" {
+		t.Fatalf("kept = %v, want only the unsanctioned windowproof finding", kept)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("stale = %v, want the fixed windowproof and wallflow entries", stale)
+	}
+	staleAnalyzers := map[string]bool{}
+	for _, s := range stale {
+		staleAnalyzers[s.Analyzer] = true
+	}
+	if !staleAnalyzers["windowproof"] || !staleAnalyzers["wallflow"] {
+		t.Fatalf("stale analyzers = %v, want windowproof and wallflow", staleAnalyzers)
+	}
+}
+
 func TestRelFile(t *testing.T) {
 	if got := RelFile("/repo", "/repo/internal/x/x.go"); got != "internal/x/x.go" {
 		t.Errorf("RelFile inside root = %q", got)

@@ -77,6 +77,40 @@ type FuncFacts struct {
 	// into a float accumulator in iteration order — passing an unordered
 	// slice makes the result order-dependent (fporder).
 	FloatReduceParam []bool `json:"floatReduceParam,omitempty"`
+
+	// FoldCovers maps a subject type key ("pkg/path.TypeName") to the
+	// sorted field paths this function folds/merges/resets on a
+	// receiver- or parameter-rooted value of that type ("*" covers the
+	// whole struct).  Exported by statefold; makes fold-exhaustiveness
+	// proofs transitive across helper calls and package boundaries.
+	FoldCovers map[string][]string `json:"foldCovers,omitempty"`
+
+	// WindowRet carries result i's window-domain label mask (winNow:
+	// anchored at the engine's current cycle; winDur: lower-bounded by a
+	// DRAM-timing term covering config.DRAMTiming.ShardWindow()).
+	WindowRet []uint8 `json:"windowRet,omitempty"`
+	// WindowRetFromParam marks result i as inheriting its window labels
+	// from parameter j (identity-ish flow, windowproof).
+	WindowRetFromParam [][]bool `json:"windowRetFromParam,omitempty"`
+	// WindowNeed is the label mask this function's mergepoint hand-offs
+	// still need from callers; WindowNeedParam marks the parameters whose
+	// argument labels can discharge it at the call site.
+	WindowNeed      uint8  `json:"windowNeed,omitempty"`
+	WindowNeedParam []bool `json:"windowNeedParam,omitempty"`
+	// WindowSafe records the //redvet:windowsafe annotation: the
+	// function (and any deadline it returns) is trusted to respect the
+	// shard window without a structural proof.
+	WindowSafe bool `json:"windowSafe,omitempty"`
+
+	// WallRet marks result i as wall-clock-derived (wallflow).
+	WallRet []bool `json:"wallRet,omitempty"`
+	// WallRetFromParam marks result i as inheriting wall taint from
+	// parameter j.
+	WallRetFromParam [][]bool `json:"wallRetFromParam,omitempty"`
+	// WallSinkParam marks parameter i as flowing into a deterministic
+	// sink (sim state, engine schedule, deterministic exporter) — a
+	// transitive wallflow sink.
+	WallSinkParam []bool `json:"wallSinkParam,omitempty"`
 }
 
 // PackageFacts groups one package's exported facts for serialization.
@@ -92,6 +126,16 @@ type PackageFacts struct {
 	// marker adds obligations, it doesn't suppress).  The future sharded
 	// engine consumes these to know which state is confinement-proven.
 	ShardLocal map[string]string `json:"shardLocal,omitempty"`
+	// FoldExempt maps field keys ("TypeName.field") of types declared in
+	// this package to the //redvet:foldexempt justification: the field is
+	// deliberately outside the fold-exhaustiveness proof (statefold).
+	FoldExempt map[string]string `json:"foldExempt,omitempty"`
+	// WindowFields maps field keys ("TypeName.field") to the window-
+	// domain label mask observed stored into them (windowproof).
+	WindowFields map[string]uint8 `json:"windowFields,omitempty"`
+	// WallFields maps field keys that have been observed holding
+	// wall-clock-derived values to a reason string (wallflow).
+	WallFields map[string]string `json:"wallFields,omitempty"`
 }
 
 // FactStore is the session-wide cross-package fact database.
@@ -116,9 +160,12 @@ func (s *FactStore) pkg(pkgPath string) *PackageFacts {
 	pf := s.pkgs[pkgPath]
 	if pf == nil {
 		pf = &PackageFacts{
-			Funcs:      make(map[string]*FuncFacts),
-			Tainted:    make(map[string]string),
-			ShardLocal: make(map[string]string),
+			Funcs:        make(map[string]*FuncFacts),
+			Tainted:      make(map[string]string),
+			ShardLocal:   make(map[string]string),
+			FoldExempt:   make(map[string]string),
+			WindowFields: make(map[string]uint8),
+			WallFields:   make(map[string]string),
 		}
 		s.pkgs[pkgPath] = pf
 	}
@@ -228,6 +275,67 @@ func (s *FactStore) ShardLocalTypes(pkgPath string) []string {
 	return out
 }
 
+// MarkFoldExempt records that field fieldKey ("TypeName.field") of a
+// type declared in pkgPath carries //redvet:foldexempt.
+func (s *FactStore) MarkFoldExempt(pkgPath, fieldKey, justification string) {
+	s.pkg(pkgPath).FoldExempt[fieldKey] = justification
+}
+
+// IsFoldExempt reports whether fieldKey in pkgPath is annotated
+// //redvet:foldexempt.
+func (s *FactStore) IsFoldExempt(pkgPath, fieldKey string) bool {
+	pf := s.pkgs[pkgPath]
+	if pf == nil {
+		return false
+	}
+	_, ok := pf.FoldExempt[fieldKey]
+	return ok
+}
+
+// MergeWindowField ORs mask into the window-domain labels recorded for
+// fieldKey in pkgPath, reporting whether the record grew.
+func (s *FactStore) MergeWindowField(pkgPath, fieldKey string, mask uint8) bool {
+	if mask == 0 {
+		return false
+	}
+	pf := s.pkg(pkgPath)
+	if pf.WindowFields[fieldKey]&mask == mask {
+		return false
+	}
+	pf.WindowFields[fieldKey] |= mask
+	return true
+}
+
+// WindowField returns the window-domain labels recorded for fieldKey.
+func (s *FactStore) WindowField(pkgPath, fieldKey string) uint8 {
+	pf := s.pkgs[pkgPath]
+	if pf == nil {
+		return 0
+	}
+	return pf.WindowFields[fieldKey]
+}
+
+// TaintWall records that fieldKey has been observed holding a
+// wall-clock-derived value.
+func (s *FactStore) TaintWall(pkgPath, fieldKey, reason string) bool {
+	pf := s.pkg(pkgPath)
+	if _, ok := pf.WallFields[fieldKey]; ok {
+		return false
+	}
+	pf.WallFields[fieldKey] = reason
+	return true
+}
+
+// WallReason returns the wall-taint reason for fieldKey, if recorded.
+func (s *FactStore) WallReason(pkgPath, fieldKey string) (string, bool) {
+	pf := s.pkgs[pkgPath]
+	if pf == nil {
+		return "", false
+	}
+	r, ok := pf.WallFields[fieldKey]
+	return r, ok
+}
+
 // HotpathFuncs returns the FullName keys of every function annotated
 // //redvet:hotpath in pkgPath, sorted (for the static/runtime guard
 // agreement test).
@@ -271,6 +379,15 @@ func (s *FactStore) ImportPackage(pkgPath string, data []byte) error {
 	}
 	if pf.ShardLocal == nil {
 		pf.ShardLocal = make(map[string]string)
+	}
+	if pf.FoldExempt == nil {
+		pf.FoldExempt = make(map[string]string)
+	}
+	if pf.WindowFields == nil {
+		pf.WindowFields = make(map[string]uint8)
+	}
+	if pf.WallFields == nil {
+		pf.WallFields = make(map[string]string)
 	}
 	s.pkgs[pkgPath] = &pf
 	s.sealPackage(pkgPath)

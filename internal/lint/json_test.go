@@ -55,6 +55,10 @@ func TestGoldenJSONDetSched(t *testing.T)   { goldenJSON(t, DetSched, "detsched"
 func TestGoldenJSONShardLocal(t *testing.T) { goldenJSON(t, ShardLocal, "shardlocal") }
 func TestGoldenJSONFPOrder(t *testing.T)    { goldenJSON(t, FPOrder, "fporder") }
 
+func TestGoldenJSONStateFold(t *testing.T)   { goldenJSON(t, StateFold, "statefold") }
+func TestGoldenJSONWindowProof(t *testing.T) { goldenJSON(t, WindowProof, "windowproof") }
+func TestGoldenJSONWallFlow(t *testing.T)    { goldenJSON(t, WallFlow, "wallflow") }
+
 // TestWriteJSONEmpty pins the no-findings rendering: a bare empty
 // array, so CI consumers can parse it unconditionally.
 func TestWriteJSONEmpty(t *testing.T) {

@@ -32,8 +32,9 @@
 //
 // on the flagged line or the line above suppresses the diagnostic.  The
 // directive token is analyzer-specific (ordered, wallclock, units,
-// statshook, alloc, unitflow, detsafe, mergepoint, fporder) so a
-// justification for one invariant never silences another.  A
+// statshook, alloc, unitflow, detsafe, mergepoint, fporder,
+// foldexempt, windowsafe, wallflow) so a justification for one
+// invariant never silences another.  A
 // suppression without a non-empty justification is itself a finding
 // (the directive audit, analyzer name "directive").
 //
@@ -54,6 +55,14 @@
 //	                      it doubles as the shardlocal analyzer's
 //	                      per-site suppression and requires a
 //	                      justification either way
+//	//redvet:foldexempt — the struct field below is deliberately outside
+//	                      the statefold fold-exhaustiveness proof
+//	                      (identity labels, centrally-counted totals);
+//	                      requires a justification
+//	//redvet:windowsafe — the function below is trusted to respect the
+//	                      conservative shard window without a structural
+//	                      windowproof derivation; requires a
+//	                      justification
 package lint
 
 import (
@@ -111,6 +120,9 @@ type Pass struct {
 	// standalone outside a Session; fact-based analyzers allocate their
 	// own store in that case via EnsureFacts).
 	Facts *FactStore
+	// Proof accumulates discharged proof-obligation counts (shared with
+	// the Session; never nil for passes built by newPass).
+	Proof *ProofStats
 
 	// directives maps filename -> line -> redvet directives on that line.
 	directives map[string]map[int][]Directive
@@ -215,6 +227,7 @@ var suppressionTokens = map[string]bool{
 	"ordered": true, "wallclock": true, "units": true, "statshook": true,
 	"alloc": true, "unitflow": true, "coldstart": true,
 	"detsafe": true, "mergepoint": true, "fporder": true,
+	"foldexempt": true, "windowsafe": true, "wallflow": true,
 }
 
 // markerTokens are contract markers that add obligations instead of
@@ -260,7 +273,7 @@ func directiveLines(fset *token.FileSet, f *ast.File) map[int][]Directive {
 // Session instead so dependency facts are available; Analyze still works
 // for them but sees only same-package facts.
 func (a *Analyzer) Analyze(pkg *Package) []Diagnostic {
-	pass := newPass(a, pkg, NewFactStore())
+	pass := newPass(a, pkg, NewFactStore(), &ProofStats{})
 	if a.Facts != nil {
 		a.Facts(pass)
 	}
@@ -269,7 +282,10 @@ func (a *Analyzer) Analyze(pkg *Package) []Diagnostic {
 	return pass.Diagnostics
 }
 
-func newPass(a *Analyzer, pkg *Package, facts *FactStore) *Pass {
+func newPass(a *Analyzer, pkg *Package, facts *FactStore, proof *ProofStats) *Pass {
+	if proof == nil {
+		proof = &ProofStats{}
+	}
 	return &Pass{
 		Analyzer:   a,
 		Fset:       pkg.Fset,
@@ -277,6 +293,7 @@ func newPass(a *Analyzer, pkg *Package, facts *FactStore) *Pass {
 		Pkg:        pkg.Types,
 		Info:       pkg.Info,
 		Facts:      facts,
+		Proof:      proof,
 		directives: pkg.Directives,
 		generated:  pkg.Generated,
 	}
@@ -312,6 +329,51 @@ type Session struct {
 	// of its Scope policy.  Fixture tests use it: testdata package paths
 	// fall outside the scopes the production driver applies.
 	IgnoreScope bool
+	// Proof accumulates the per-site obligation counts the v4 analyzers
+	// discharge during their Run phases (fold/window/wallflow).
+	Proof ProofStats
+}
+
+// ProofStats counts statically discharged proof obligations across one
+// session: annotation obligations carried in the fact store (hotpath,
+// shardlocal, mergepoint) and the per-site proofs the v4 analyzers
+// complete over the target packages (fold-exhaustive fields, window-
+// bounded hand-offs, wall-clock source confinement).
+type ProofStats struct {
+	Hotpath    int `json:"hotpath"`
+	ShardLocal int `json:"shardlocal"`
+	Mergepoint int `json:"mergepoint"`
+	Fold       int `json:"fold"`
+	Window     int `json:"window"`
+	Wallflow   int `json:"wallflow"`
+}
+
+func (ps ProofStats) String() string {
+	return fmt.Sprintf("hotpath=%d shardlocal=%d mergepoint=%d fold=%d window=%d wallflow=%d",
+		ps.Hotpath, ps.ShardLocal, ps.Mergepoint, ps.Fold, ps.Window, ps.Wallflow)
+}
+
+// ProofStats returns the session's proof-obligation counts: annotation
+// obligations summed over every loaded in-module package's facts, plus
+// the per-site counts accumulated by the Run phases.  Call after Run.
+func (s *Session) ProofStats() ProofStats {
+	ps := s.Proof
+	for _, pkg := range s.Packages {
+		pf := s.Facts.pkgs[pkg.Path]
+		if pf == nil {
+			continue
+		}
+		ps.ShardLocal += len(pf.ShardLocal)
+		for _, ff := range pf.Funcs {
+			if ff.Hotpath {
+				ps.Hotpath++
+			}
+			if ff.Mergepoint {
+				ps.Mergepoint++
+			}
+		}
+	}
+	return ps
 }
 
 // NewSession wraps a Load result (already in dependency order).
@@ -332,7 +394,7 @@ func (s *Session) Run(analyzers []*Analyzer) []Diagnostic {
 			if s.Facts.HasPackage(pkg.Path) {
 				continue // imported from the fact cache
 			}
-			a.Facts(newPass(a, pkg, s.Facts))
+			a.Facts(newPass(a, pkg, s.Facts, &s.Proof))
 		}
 		s.Facts.sealPackage(pkg.Path)
 	}
@@ -344,7 +406,7 @@ func (s *Session) Run(analyzers []*Analyzer) []Diagnostic {
 			if !s.IgnoreScope && !a.Scope(pkg.Path) {
 				continue
 			}
-			pass := newPass(a, pkg, s.Facts)
+			pass := newPass(a, pkg, s.Facts, &s.Proof)
 			a.Run(pass)
 			out = append(out, pass.Diagnostics...)
 		}
@@ -379,7 +441,7 @@ func auditDirectives(pkg *Package) []Diagnostic {
 					out = append(out, Diagnostic{
 						Analyzer: "directive",
 						Pos:      pkg.Fset.Position(d.Pos),
-						Message:  fmt.Sprintf("unknown redvet directive %q (known: alloc, coldstart, detsafe, fporder, hotpath, mergepoint, ordered, shardlocal, statshook, units, unitflow, wallclock)", d.Tok),
+						Message:  fmt.Sprintf("unknown redvet directive %q (known: alloc, coldstart, detsafe, foldexempt, fporder, hotpath, mergepoint, ordered, shardlocal, statshook, units, unitflow, wallclock, wallflow, windowsafe)", d.Tok),
 					})
 				case suppressionTokens[d.Tok] && d.Just == "":
 					out = append(out, Diagnostic{
@@ -394,11 +456,14 @@ func auditDirectives(pkg *Package) []Diagnostic {
 	return out
 }
 
-// All returns the full redvet analyzer suite.
+// All returns the full redvet analyzer suite.  ShardLocal precedes the
+// v4 analyzers so their fact phases see the same package's shardlocal
+// and mergepoint annotations.
 func All() []*Analyzer {
 	return []*Analyzer{
 		DetMapRange, NoWallClock, CycleUnits, StatsPath, NoAlloc, UnitFlow,
 		DetSched, ShardLocal, FPOrder,
+		StateFold, WindowProof, WallFlow,
 	}
 }
 

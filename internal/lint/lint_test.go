@@ -101,6 +101,9 @@ func TestUnitFlow(t *testing.T)    { runFixture(t, UnitFlow, "unitflow") }
 func TestDetSched(t *testing.T)    { runFixture(t, DetSched, "detsched") }
 func TestShardLocal(t *testing.T)  { runFixture(t, ShardLocal, "shardlocal") }
 func TestFPOrder(t *testing.T)     { runFixture(t, FPOrder, "fporder") }
+func TestStateFold(t *testing.T)   { runFixture(t, StateFold, "statefold") }
+func TestWindowProof(t *testing.T) { runFixture(t, WindowProof, "windowproof") }
+func TestWallFlow(t *testing.T)    { runFixture(t, WallFlow, "wallflow") }
 
 // TestRepoIsClean runs the full suite over the whole repository — the
 // same gate CI applies with `go run ./cmd/redvet ./...` — so a lint
@@ -178,6 +181,24 @@ func TestScopes(t *testing.T) {
 		{FPOrder, "redcache/internal/experiments", true},
 		{FPOrder, "redcache/internal/lint", false},
 		{FPOrder, "redcache/internal/lint/testdata/src/fporder", true},
+		{StateFold, "redcache/internal/dram", true},
+		{StateFold, "redcache/internal/stats", true},
+		{StateFold, "redcache/internal/experiments", false},
+		{StateFold, "redcache/internal/lint", false},
+		{StateFold, "redcache/internal/lint/testdata/src/statefold", true},
+		{StateFold, "redcache/internal/lint/testdata/src/windowproof", false},
+		{WindowProof, "redcache/internal/engine", true},
+		{WindowProof, "redcache/internal/dram", true},
+		{WindowProof, "redcache/internal/cache", false},
+		{WindowProof, "redcache/internal/lint", false},
+		{WindowProof, "redcache/internal/lint/testdata/src/windowproof", true},
+		{WindowProof, "redcache/internal/lint/testdata/src/wallflow", false},
+		{WallFlow, "redcache/internal/engine", true},
+		{WallFlow, "redcache/cmd/redbench", true},
+		{WallFlow, "redcache/internal/obs/prof", true},
+		{WallFlow, "redcache/internal/lint", false},
+		{WallFlow, "redcache/internal/lint/testdata/src/wallflow", true},
+		{WallFlow, "redcache/internal/lint/testdata/src/statefold", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Scope(c.path); got != c.want {
@@ -206,6 +227,14 @@ func f() {}
 //redvet:mergepoint — v3 marker-suppression hybrid, properly justified
 //redvet:shardlocal
 type q struct{}
+
+//redvet:foldexempt
+//redvet:windowsafe
+//redvet:wallflow
+//redvet:foldexempt — v4 suppression, properly justified
+//redvet:windowsafe — v4 suppression, properly justified
+//redvet:wallflow — v4 suppression, properly justified
+func g() {}
 `
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
@@ -226,6 +255,9 @@ type q struct{}
 		`unknown redvet directive "sharlocal"`,
 		"//redvet:detsafe needs a justification",
 		"//redvet:mergepoint needs a justification",
+		"//redvet:foldexempt needs a justification",
+		"//redvet:windowsafe needs a justification",
+		"//redvet:wallflow needs a justification",
 	}
 	if len(ds) != len(want) {
 		t.Fatalf("got %d findings, want %d: %v", len(ds), len(want), ds)

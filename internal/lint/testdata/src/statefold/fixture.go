@@ -1,0 +1,74 @@
+// Package statefold is the fixture for the statefold analyzer: every
+// fold/merge/snapshot/delta/reset function over a stats-shaped (or
+// //redvet:shardlocal-marked) struct must handle every field — fold
+// it, reset it, delegate it to a helper whose FoldCovers facts prove
+// coverage, or carry a //redvet:foldexempt justification on the field
+// declaration.
+package statefold
+
+import "redcache/internal/lint/testdata/src/statefold/foldutil"
+
+type owner struct {
+	total foldutil.Shadow
+}
+
+// FoldStatsBad folds Reads and Writes but silently drops Stalls — the
+// classic stat-loss bug the analyzer exists to catch.
+func (o *owner) FoldStatsBad(src *foldutil.Shadow) { // want `fold-family function FoldStatsBad drops field Shadow\.Stalls of base o\.total`
+	o.total.Reads += src.Reads
+	o.total.Writes += src.Writes
+}
+
+// FoldStatsGood handles every field: two locally, Stalls through a
+// cross-package helper whose FoldCovers facts complete the proof, and
+// Label by its declaration-site exemption.
+func (o *owner) FoldStatsGood(src *foldutil.Shadow) {
+	o.total.Reads += src.Reads
+	o.total.Writes += src.Writes
+	foldutil.AddStalls(&o.total, src)
+}
+
+// resetMasked shows that a trailing zero-struct store cannot mask a
+// dropped field: the per-field resets obligate the base, and the
+// zero-composite assignment is deliberately inert.
+func resetMasked(s *foldutil.Shadow) { // want `reset-family function resetMasked drops field Shadow\.Stalls of base s`
+	s.Reads = 0
+	s.Writes = 0
+	*s = foldutil.Shadow{}
+}
+
+// snapshotWhole copies the whole value: exhaustive by construction,
+// no per-field obligation arises.
+func snapshotWhole(s *foldutil.Shadow) foldutil.Shadow { return *s }
+
+// deltaKeyed builds a keyed composite literal, which is its own
+// obligated base: listing only some fields drops the rest.
+func deltaKeyed(cur, prev foldutil.Shadow) foldutil.Shadow { // want `delta-family function deltaKeyed drops field Shadow\.Stalls of base Shadow literal`
+	return foldutil.Shadow{
+		Reads:  cur.Reads - prev.Reads,
+		Writes: cur.Writes - prev.Writes,
+	}
+}
+
+// deltaFull lists every non-exempt field: clean.
+func deltaFull(cur, prev foldutil.Shadow) foldutil.Shadow {
+	return foldutil.Shadow{
+		Reads:  cur.Reads - prev.Reads,
+		Writes: cur.Writes - prev.Writes,
+		Stalls: cur.Stalls - prev.Stalls,
+	}
+}
+
+// ring is shard-local but not stats-shaped (the pointer field): the
+// //redvet:shardlocal marker alone makes it a fold subject.
+//
+//redvet:shardlocal
+type ring struct {
+	head *int
+	seen int64
+}
+
+// mergeRing folds the counter but forgets to hand over the buffer head.
+func mergeRing(dst, src *ring) { // want `merge-family function mergeRing drops field ring\.head of base dst`
+	dst.seen += src.seen
+}

@@ -1,0 +1,22 @@
+// Package wallutil launders wall-clock values across a package boundary
+// for the wallflow fixture: Stamp returns a wall reading (WallRet
+// fact), Consume forwards its parameter into deterministic state
+// (WallSinkParam fact).
+package wallutil
+
+import (
+	"time"
+
+	"redcache/internal/stats"
+)
+
+// Stamp returns a raw wall-clock reading.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Consume stores x into a deterministic stats field — a transitive
+// sink for its parameter.
+func Consume(x int64) {
+	var iface stats.Interface
+	iface.BusyCycles = x
+	_ = iface
+}

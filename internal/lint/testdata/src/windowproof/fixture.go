@@ -1,0 +1,95 @@
+// Package windowproof is the fixture for the windowproof analyzer:
+// every deadline reaching a //redvet:mergepoint hand-off (PostTimed,
+// PostArg, or an annotated helper with an `at` parameter) must be
+// provably anchored at the engine's current cycle (N) and, where the
+// contract demands it, lower-bounded by config.DRAMTiming.ShardWindow()
+// (W).  Addition and max preserve the bounds, min intersects them,
+// subtraction destroys them.
+package windowproof
+
+import (
+	"redcache/internal/config"
+	"redcache/internal/engine"
+	"redcache/internal/lint/testdata/src/windowproof/winutil"
+)
+
+func goodDirect(sh *engine.Shard, tm config.DRAMTiming) {
+	eng := sh.Engine()
+	sh.PostTimed(eng.Now()+tm.TCAS, nil)
+}
+
+func goodMax(sh *engine.Shard, tm config.DRAMTiming) {
+	eng := sh.Engine()
+	ready := max(eng.Now(), int64(100))
+	sh.PostTimed(ready+min(tm.TCAS, tm.TCWD), nil)
+}
+
+func badWeakened(sh *engine.Shard, tm config.DRAMTiming) {
+	eng := sh.Engine()
+	sh.PostTimed(eng.Now()+tm.TCAS-1, nil) // want `PostTimed deadline .* not provably anchored at the current cycle and offset by`
+}
+
+func badNoWindow(sh *engine.Shard) {
+	eng := sh.Engine()
+	sh.PostTimed(eng.Now()+1, nil) // want `PostTimed deadline .* not provably offset by`
+}
+
+func badNoAnchor(sh *engine.Shard, tm config.DRAMTiming) {
+	sh.PostTimed(tm.TCAS+tm.TRCD, nil) // want `PostTimed deadline .* not provably anchored at the engine's current cycle`
+}
+
+func goodArrival(s *engine.Sharded, dst int) {
+	eng := s.Shard(0).Engine()
+	s.PostArg(dst, eng.Now(), nil, 0)
+}
+
+func badArrival(s *engine.Sharded, dst int) {
+	s.PostArg(dst, int64(42), nil, 0) // want `PostArg arrival cycle .* not provably anchored`
+}
+
+// post exercises the generic rule: any mergepoint-annotated function
+// with an integer parameter named `at` inherits the full obligation.
+//
+//redvet:mergepoint — fixture stand-in for a cross-shard hand-off entry point
+func post(at int64, fn func()) {
+	_ = at
+	if fn != nil {
+		fn()
+	}
+}
+
+func goodGeneric(sh *engine.Shard, tm config.DRAMTiming) {
+	eng := sh.Engine()
+	post(eng.Now()+winutil.Window(tm), nil)
+}
+
+func badGeneric(sh *engine.Shard) {
+	eng := sh.Engine()
+	post(eng.Now()+1, nil) // want `mergepoint .at. deadline of .*post .* not provably offset by`
+}
+
+// relay's deadline derivation lives in its callers: WindowNeed facts
+// defer the proof to every call site.
+func relay(sh *engine.Shard, at int64) {
+	sh.PostTimed(at, nil)
+}
+
+func goodDeferred(sh *engine.Shard, tm config.DRAMTiming) {
+	eng := sh.Engine()
+	relay(sh, eng.Now()+tm.TCWD)
+}
+
+func badDeferred(sh *engine.Shard) {
+	eng := sh.Engine()
+	relay(sh, eng.Now()) // want `window-deferred parameter of .*relay .* not provably offset by`
+}
+
+// trusted is vouched for rather than proven; its results satisfy the
+// window contract by annotation.
+//
+//redvet:windowsafe — fixture stand-in for an externally-verified deadline helper
+func trusted() int64 { return 7 }
+
+func goodTrusted(sh *engine.Shard) {
+	sh.PostTimed(trusted(), nil)
+}

@@ -1,0 +1,9 @@
+// Package winutil exports window-domain helpers for the windowproof
+// fixture; its WindowRet facts cross the package boundary.
+package winutil
+
+import "redcache/internal/config"
+
+// Window returns the conservative shard lookahead, lower-bounded by
+// ShardWindow() by construction.
+func Window(tm config.DRAMTiming) int64 { return tm.ShardWindow() }

@@ -1,0 +1,590 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// WindowProof turns the sharded engine's runtime lookahead guard into a
+// static proof.  The windowed execution plan is only deterministic
+// because every cross-shard hand-off through the //redvet:mergepoint
+// entry points (Shard.PostTimed, Sharded.PostArg) lands at or beyond
+// the receiving shard's current window — the runtime enforces this with
+// the `at >= curEnd` panic in internal/engine/shard.go, and the window
+// width is config.DRAMTiming.ShardWindow() = min(tCAS, tCWD).
+//
+// windowproof proves the property at lint time with a two-bit label
+// domain flowing through the same machinery as unitflow:
+//
+//   - N (winNow):  the value is anchored at the engine's current cycle
+//     (derived from an engine Now() read, preserved by + and max);
+//   - W (winDur):  the value is lower-bounded by a DRAM-timing term
+//     that covers ShardWindow() (tCAS, tCWD, or ShardWindow() itself).
+//
+// Addition and max union labels (both preserve lower bounds);
+// min intersects them; subtraction, multiplication and comparisons
+// drop them — so `tm.TCAS - 1` is no longer provably window-wide and
+// the proof fails, exactly as the runtime guard would.
+//
+// A PostTimed deadline must prove N|W; a PostArg arrival (same-window
+// hand-off into the inbox) must prove N.  Any other //redvet:mergepoint
+// function with an integer parameter named `at` inherits the N|W
+// obligation.  Functions whose deadline derivation lives in a caller
+// export WindowNeed/WindowNeedParam facts, deferring the missing bits
+// to every call site; helpers that are trusted rather than proven carry
+// //redvet:windowsafe with a justification.
+var WindowProof = &Analyzer{
+	Name: "windowproof",
+	Doc: "proves every delay reaching a //redvet:mergepoint hand-off is anchored " +
+		"at the engine's current cycle and lower-bounded by " +
+		"config.DRAMTiming.ShardWindow(), interprocedurally via window facts",
+	Directive: "windowsafe",
+	Scope:     windowproofScope,
+	Facts:     windowproofFacts,
+	Run:       windowproofRun,
+}
+
+func windowproofScope(path string) bool {
+	if strings.HasPrefix(path, "redcache/internal/lint") {
+		return strings.HasPrefix(path, "redcache/internal/lint/testdata/src/windowproof")
+	}
+	switch path {
+	case "redcache/internal/engine", "redcache/internal/dram",
+		"redcache/internal/hbm", "redcache/internal/sim":
+		return true
+	}
+	return false
+}
+
+// Window label bits: N and W are the domain; bit i+2 means "derived
+// from parameter i".
+const (
+	winNow uint64 = 1 << 0
+	winDur uint64 = 1 << 1
+)
+
+const winDomain = winNow | winDur
+
+func winParamBit(i int) uint64 {
+	if i >= 61 {
+		return 0
+	}
+	return 1 << uint(i+2)
+}
+
+// recvSuffix reports whether fn is a method whose receiver type (deref)
+// ends in suffix.
+func recvSuffix(fn *types.Func, suffix string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return strings.HasSuffix(strings.TrimPrefix(sig.Recv().Type().String(), "*"), suffix)
+}
+
+// engineNowCall reports whether fn reads the engine's current cycle.
+func engineNowCall(fn *types.Func) bool {
+	if fn.Name() != "Now" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return strings.Contains(sig.Recv().Type().String(), "redcache/internal/engine.")
+}
+
+// shardWindowCall reports whether fn is config.DRAMTiming.ShardWindow.
+func shardWindowCall(fn *types.Func) bool {
+	return fn.Name() == "ShardWindow" && recvSuffix(fn, "redcache/internal/config.DRAMTiming")
+}
+
+// windowSourceField returns the W bit for reads of the DRAM-timing
+// fields that lower-bound ShardWindow() by definition.
+func windowSourceField(pkg, key string) uint64 {
+	if pkg != "redcache/internal/config" {
+		return 0
+	}
+	if key == "DRAMTiming.TCAS" || key == "DRAMTiming.TCWD" {
+		return winDur
+	}
+	return 0
+}
+
+// atParamIndex returns the index of an integer parameter named "at", or
+// -1 — the generic mergepoint deadline convention.
+func atParamIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if p.Name() == "at" && isIntegerType(p.Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// winFlow is the per-function window-label analysis.
+type winFlow struct {
+	pass     *Pass
+	facts    *FactStore
+	decl     *ast.FuncDecl
+	fn       *types.Func
+	sig      *types.Signature
+	labels   map[types.Object]uint64
+	report   bool
+	reported map[token.Pos]bool
+	changed  bool
+
+	retW     []uint64
+	needMask uint8  // domain bits this function's hand-offs still need
+	needPar  uint64 // params whose labels can discharge needMask
+}
+
+func newWinFlow(pass *Pass, decl *ast.FuncDecl, report bool) *winFlow {
+	fn, _ := pass.Info.Defs[decl.Name].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	f := &winFlow{
+		pass:     pass,
+		facts:    pass.EnsureFacts(),
+		decl:     decl,
+		fn:       fn,
+		sig:      fn.Type().(*types.Signature),
+		labels:   make(map[types.Object]uint64),
+		reported: make(map[token.Pos]bool),
+		report:   report,
+	}
+	f.retW = make([]uint64, f.sig.Results().Len())
+	for i := 0; i < f.sig.Params().Len(); i++ {
+		f.labels[f.sig.Params().At(i)] = winParamBit(i)
+	}
+	return f
+}
+
+func (f *winFlow) exprLabels(e ast.Expr) uint64 {
+	if e == nil {
+		return 0
+	}
+	var m uint64
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := f.pass.Info.Uses[e]; obj != nil {
+			m |= f.labels[obj]
+		}
+	case *ast.ParenExpr:
+		m |= f.exprLabels(e.X)
+	case *ast.SelectorExpr:
+		if pkg, key, ok := fieldKey(f.pass.Info, e); ok {
+			m |= windowSourceField(pkg, key)
+			m |= uint64(f.facts.WindowField(pkg, key))
+		} else if obj := f.pass.Info.Uses[e.Sel]; obj != nil {
+			m |= f.labels[obj]
+		}
+	case *ast.CallExpr:
+		for _, r := range f.callLabels(e) {
+			m |= r
+		}
+	case *ast.BinaryExpr:
+		// Addition preserves lower bounds from either side; everything
+		// else (subtraction, scaling, comparison) weakens them.
+		if e.Op == token.ADD {
+			m |= f.exprLabels(e.X) | f.exprLabels(e.Y)
+		}
+	case *ast.StarExpr:
+		m |= f.exprLabels(e.X)
+	case *ast.IndexExpr:
+		m |= f.exprLabels(e.X)
+	}
+	return m
+}
+
+func (f *winFlow) callLabels(call *ast.CallExpr) []uint64 {
+	// Conversions pass window labels through unchanged.
+	if tv, ok := f.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return []uint64{f.exprLabels(call.Args[0])}
+	}
+	// Builtin max unions its arguments' bounds; min keeps only the
+	// bounds every argument has.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := f.pass.Info.Uses[id].(*types.Builtin); isB {
+			switch b.Name() {
+			case "max":
+				var m uint64
+				for _, a := range call.Args {
+					m |= f.exprLabels(a)
+				}
+				return []uint64{m}
+			case "min":
+				m := ^uint64(0)
+				for _, a := range call.Args {
+					m &= f.exprLabels(a)
+				}
+				return []uint64{m}
+			}
+		}
+	}
+	callee := staticCallee(f.pass.Info, call)
+	nres := 1
+	if sig, ok := f.pass.Info.TypeOf(call.Fun).(*types.Signature); ok {
+		nres = sig.Results().Len()
+	}
+	out := make([]uint64, nres)
+	if callee == nil {
+		return out
+	}
+	if engineNowCall(callee) {
+		for i := range out {
+			out[i] |= winNow
+		}
+		return out
+	}
+	if shardWindowCall(callee) {
+		for i := range out {
+			out[i] |= winDur
+		}
+		return out
+	}
+	ff := f.facts.Func(callee)
+	if ff != nil && ff.WindowSafe {
+		// Trusted helper: its results satisfy the window contract and
+		// its internals are exempt from structural checks.
+		for i := range out {
+			out[i] |= winDomain
+		}
+		return out
+	}
+	f.checkSinks(call, callee, ff)
+	if ff != nil {
+		argLabel := func(j int) uint64 {
+			if j < len(call.Args) {
+				return f.exprLabels(call.Args[j])
+			}
+			return 0
+		}
+		for i := range out {
+			if i < len(ff.WindowRet) {
+				out[i] |= uint64(ff.WindowRet[i]) & winDomain
+			}
+			if i < len(ff.WindowRetFromParam) {
+				for j, from := range ff.WindowRetFromParam[i] {
+					if from {
+						out[i] |= argLabel(j)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkSinks applies the mergepoint deadline obligations to a call.
+// The exact table (PostTimed, PostArg) takes precedence; other
+// mergepoint-annotated callees with an `at` parameter inherit the full
+// N|W obligation; WindowNeed facts propagate caller-deferred bits.
+func (f *winFlow) checkSinks(call *ast.CallExpr, callee *types.Func, ff *FuncFacts) {
+	switch {
+	case callee.Name() == "PostTimed" && recvSuffix(callee, "redcache/internal/engine.Shard"):
+		f.requireArg(call, 0, winDomain, "PostTimed deadline")
+		return
+	case callee.Name() == "PostArg" && recvSuffix(callee, "redcache/internal/engine.Sharded"):
+		f.requireArg(call, 1, winNow, "PostArg arrival cycle")
+		return
+	}
+	if ff == nil {
+		return
+	}
+	if ff.Mergepoint {
+		if j := atParamIndex(callee); j >= 0 {
+			f.requireArg(call, j, winDomain, "mergepoint `at` deadline of "+FuncKey(callee))
+			return
+		}
+	}
+	if ff.WindowNeed != 0 {
+		for j, need := range ff.WindowNeedParam {
+			if need {
+				f.requireArg(call, j, uint64(ff.WindowNeed)&winDomain,
+					"window-deferred parameter of "+FuncKey(callee))
+			}
+		}
+	}
+}
+
+// requireArg checks one sink argument against the required domain bits,
+// deferring missing bits to callers when the value depends on params.
+func (f *winFlow) requireArg(call *ast.CallExpr, j int, need uint64, what string) {
+	if j >= len(call.Args) {
+		return
+	}
+	arg := call.Args[j]
+	m := f.exprLabels(arg)
+	missing := need &^ (m & winDomain)
+	if missing == 0 {
+		if f.report && !f.reported[arg.Pos()] {
+			f.reported[arg.Pos()] = true
+			f.pass.Proof.Window++
+		}
+		return
+	}
+	if m&^winDomain != 0 {
+		// The value depends on parameters: defer the missing bits to
+		// every caller via WindowNeed facts.
+		for i := 0; i < f.sig.Params().Len(); i++ {
+			if m&winParamBit(i) != 0 && f.needPar&winParamBit(i) == 0 {
+				f.needPar |= winParamBit(i)
+				f.changed = true
+			}
+		}
+		if f.needMask|uint8(missing) != f.needMask {
+			f.needMask |= uint8(missing)
+			f.changed = true
+		}
+		return
+	}
+	if f.report && !f.reported[arg.Pos()] {
+		f.reported[arg.Pos()] = true
+		f.pass.Reportf(arg.Pos(),
+			"%s %s is not provably %s; derive it from the engine's current cycle plus a tCAS/tCWD-bounded term (ShardWindow()), or annotate the helper //redvet:windowsafe with a justification",
+			what, exprString(arg), winMissingDesc(missing))
+	}
+}
+
+func winMissingDesc(missing uint64) string {
+	switch missing & winDomain {
+	case winNow:
+		return "anchored at the engine's current cycle"
+	case winDur:
+		return "offset by ≥ config.DRAMTiming.ShardWindow()"
+	default:
+		return "anchored at the current cycle and offset by ≥ config.DRAMTiming.ShardWindow()"
+	}
+}
+
+func (f *winFlow) merge(obj types.Object, m uint64) {
+	if m == 0 || obj == nil {
+		return
+	}
+	if f.labels[obj]&m != m {
+		f.labels[obj] |= m
+		f.changed = true
+	}
+}
+
+func (f *winFlow) step() {
+	ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			f.assignStep(n)
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				obj := f.pass.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				var m uint64
+				for _, v := range n.Values {
+					m |= f.exprLabels(v)
+				}
+				f.merge(obj, m)
+			}
+		case *ast.ReturnStmt:
+			if len(n.Results) == len(f.retW) {
+				for i, e := range n.Results {
+					f.retW[i] |= f.exprLabels(e)
+				}
+			}
+		case *ast.CallExpr:
+			// Statement-position calls still need sink checks.
+			if callee := staticCallee(f.pass.Info, n); callee != nil &&
+				!engineNowCall(callee) && !shardWindowCall(callee) {
+				ff := f.facts.Func(callee)
+				if ff == nil || !ff.WindowSafe {
+					f.checkSinks(n, callee, ff)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (f *winFlow) assignStep(n *ast.AssignStmt) {
+	var rhs []uint64
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		if call, ok := unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+			rhs = f.callLabels(call)
+		}
+	} else {
+		for _, r := range n.Rhs {
+			rhs = append(rhs, f.exprLabels(r))
+		}
+	}
+	for i, lhs := range n.Lhs {
+		var m uint64
+		if i < len(rhs) {
+			m = rhs[i]
+		}
+		// Compound ops: += keeps and unions the old bound, everything
+		// else weakens it to the fresh RHS only.
+		if n.Tok == token.ADD_ASSIGN {
+			m |= f.exprLabels(lhs)
+		} else if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+			m = 0
+		}
+		switch lhs := unparen(lhs).(type) {
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				continue
+			}
+			obj := f.pass.Info.Defs[lhs]
+			if obj == nil {
+				obj = f.pass.Info.Uses[lhs]
+			}
+			if obj == nil {
+				continue
+			}
+			// Labels only grow (flow-insensitive union, as in unitflow):
+			// a weakened reassignment is caught where the weak expression
+			// itself reaches a sink, not by shrinking the variable.
+			f.merge(obj, m)
+		case *ast.SelectorExpr:
+			if m&winDomain != 0 {
+				if pkg, key, ok := fieldKey(f.pass.Info, lhs); ok {
+					if f.facts.MergeWindowField(pkg, key, uint8(m&winDomain)) {
+						f.changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func (f *winFlow) run() (ret []uint8, fromParam [][]bool, needMask uint8, needPar []bool) {
+	if f.decl.Body == nil {
+		return nil, nil, 0, nil
+	}
+	wantReport := f.report
+	f.report = false
+	for i := 0; i < 8; i++ {
+		f.changed = false
+		f.step()
+		if !f.changed {
+			break
+		}
+	}
+	if wantReport {
+		f.report = true
+		f.step()
+	}
+	np := f.sig.Params().Len()
+	for i := range f.retW {
+		ret = append(ret, uint8(f.retW[i]&winDomain))
+		row := make([]bool, np)
+		for j := 0; j < np; j++ {
+			row[j] = f.retW[i]&winParamBit(j) != 0
+		}
+		fromParam = append(fromParam, row)
+	}
+	needPar = make([]bool, np)
+	for j := 0; j < np; j++ {
+		needPar[j] = f.needPar&winParamBit(j) != 0
+	}
+	return ret, fromParam, f.needMask, needPar
+}
+
+func winTrivial(ret []uint8, fromParam [][]bool, needMask uint8, needPar []bool) bool {
+	if needMask != 0 {
+		return false
+	}
+	for _, r := range ret {
+		if r != 0 {
+			return false
+		}
+	}
+	for _, row := range fromParam {
+		for _, b := range row {
+			if b {
+				return false
+			}
+		}
+	}
+	for _, b := range needPar {
+		if b {
+			return false
+		}
+	}
+	return true
+}
+
+// windowproofFacts computes window facts for every function to a
+// package fixpoint (and records the annotation vocabulary, idempotently
+// with shardlocal's fact phase, for single-analyzer sessions).
+func windowproofFacts(pass *Pass) {
+	facts := pass.EnsureFacts()
+	shardlocalFacts(pass)
+	decls := funcDecls(pass)
+	for fn, decl := range decls {
+		if pass.funcMarked(decl, "windowsafe") {
+			facts.EnsureFunc(fn).WindowSafe = true
+		}
+	}
+	for round := 0; round < 4; round++ {
+		changed := false
+		for fn, decl := range decls {
+			if decl.Body == nil {
+				continue
+			}
+			if ff := facts.Func(fn); ff != nil && ff.WindowSafe {
+				continue
+			}
+			flow := newWinFlow(pass, decl, false)
+			if flow == nil {
+				continue
+			}
+			ret, fromPar, needMask, needPar := flow.run()
+			if flow.changed {
+				changed = true // field facts grew this round
+			}
+			if winTrivial(ret, fromPar, needMask, needPar) {
+				continue
+			}
+			ff := facts.EnsureFunc(fn)
+			if !reflect.DeepEqual(ff.WindowRet, ret) ||
+				!reflect.DeepEqual(ff.WindowRetFromParam, fromPar) ||
+				ff.WindowNeed != needMask ||
+				!reflect.DeepEqual(ff.WindowNeedParam, needPar) {
+				ff.WindowRet, ff.WindowRetFromParam = ret, fromPar
+				ff.WindowNeed, ff.WindowNeedParam = needMask, needPar
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// windowproofRun replays the analysis with reporting enabled.
+func windowproofRun(pass *Pass) {
+	facts := pass.EnsureFacts()
+	for fn, decl := range funcDecls(pass) {
+		if decl.Body == nil {
+			continue
+		}
+		if ff := facts.Func(fn); ff != nil && ff.WindowSafe {
+			continue
+		}
+		if pass.funcMarked(decl, "windowsafe") {
+			continue
+		}
+		if flow := newWinFlow(pass, decl, true); flow != nil {
+			flow.run()
+		}
+	}
+}

@@ -213,6 +213,44 @@ func TestShardMergeEventsDeterministic(t *testing.T) {
 	}
 }
 
+// TestShardedFoldsAllStats pins the runtime half of statefold's
+// fold-exhaustiveness proof: the sharded plan accumulates per-window
+// shadow Interfaces and folds them back into the shared accumulator,
+// and a dropped fold line silently zeroes a sharded counter while
+// staying byte-identical across worker counts, which is why the
+// worker-count matrix alone cannot catch it.  (statefold found
+// foldShadows dropping Interface.Requests — benign only because
+// requests are counted at enqueue on the shared interface, never in
+// the shadow; the bytes/busy/column counters below are the genuinely
+// shadow-folded ones this test guards.)
+//
+// Serial and sharded plans are deliberately NOT byte-identical — the
+// windowed schedule shifts row-buffer locality and, on feedback-driven
+// architectures, the request stream itself.  The NoHBM direct-to-mem
+// path is trace-driven, so its conserved totals (requests, bytes, data
+// bus cycles, column accesses, instructions) must match exactly; only
+// the hit/miss split and the end cycle may move between plans.
+func TestShardedFoldsAllStats(t *testing.T) {
+	conserved := func(r *Result) string {
+		i := r.DDRIface
+		return fmt.Sprintf("instr=%d req=%d read=%d write=%d busy=%d cols=%d",
+			r.Instructions, i.Requests, i.ReadBytes, i.WriteBytes,
+			i.BusyCycles, i.RowHits+i.RowMisses)
+	}
+	serial := shardMatrixRun(t, "LU", hbm.ArchNoHBM, 0, false)
+	sharded := shardMatrixRun(t, "LU", hbm.ArchNoHBM, 2, false)
+	if serial.DDRIface.Requests == 0 || serial.DDRIface.RowHits+serial.DDRIface.RowMisses == 0 {
+		t.Fatalf("serial run drove no DDR traffic (%+v); equality would be vacuous", serial.DDRIface)
+	}
+	if got, want := conserved(sharded), conserved(serial); got != want {
+		t.Fatalf("sharded conserved counters diverged from serial:\n--- serial\n%s\n--- sharded\n%s", want, got)
+	}
+	if sharded.DDRIface.Name != serial.DDRIface.Name {
+		t.Fatalf("interface name not preserved across the fold: %q vs %q",
+			sharded.DDRIface.Name, serial.DDRIface.Name)
+	}
+}
+
 // TestShardedRepeatable pins run-to-run determinism of the sharded
 // plan itself (same worker count, fresh traces), mirroring
 // TestRunBitReproducible for the windowed schedule.

@@ -24,6 +24,7 @@ func (c *Counter) Value() int64 { return c.n }
 
 // Interface accumulates traffic on one memory interface (WideIO or DDRx).
 type Interface struct {
+	//redvet:foldexempt — identity label set at construction, not an accumulator; folds would concatenate nothing and resets must preserve it
 	Name       string
 	ReadBytes  int64
 	WriteBytes int64
