@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
 
+	"redcache/internal/ckpt"
 	"redcache/internal/config"
 	"redcache/internal/dram"
 	"redcache/internal/engine"
@@ -102,7 +104,7 @@ func runBenchSuite() {
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		SchemaNote: "ns_per_op/allocs_per_op/bytes_per_op from testing.Benchmark; " +
-			"events_per_sec = engine events per wall second; mb_per_sec for the trace codec; " +
+			"events_per_sec = engine events per wall second; mb_per_sec for the trace and checkpoint codecs; " +
 			"end_to_end rows come in serial (shard_workers=0) / sharded (shard_workers=N) pairs " +
 			"over the same deterministic run; wall_seconds is the best of 3 timed repetitions " +
 			"after one untimed warmup, and the sharded row's speedup is serial best wall " +
@@ -133,6 +135,8 @@ func runBenchSuite() {
 	rep.Micro = append(rep.Micro, microBench("TelemetrySample", benchTelemetrySample, true, false))
 	fmt.Fprintln(os.Stderr, "  benchmarking disabled tracer emit...")
 	rep.Micro = append(rep.Micro, microBench("TracerEmitDisabled", benchTracerEmitDisabled, true, false))
+	fmt.Fprintln(os.Stderr, "  benchmarking checkpoint save/restore...")
+	rep.Micro = append(rep.Micro, microBench("CheckpointSaveRestore", benchCheckpointSaveRestore, false, true))
 
 	for _, pair := range []struct {
 		workload string
@@ -338,6 +342,54 @@ func benchTracerEmitDisabled(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Emit(obs.EvBypass, uint64(i), 1, 2)
+	}
+}
+
+// benchCheckpointSaveRestore measures the per-snapshot container cost:
+// one op encodes a real tiny-machine checkpoint (manifest JSON +
+// payload + sha256 trailer) and decodes it back through the full
+// integrity checks.  The payload comes from an actual LU/RedCache run
+// snapshotted mid-flight, so the measured bytes are what a periodic
+// snapshot of a live machine writes — the number that, against the
+// cadence, says what fraction of a run's wall time checkpointing buys
+// crash resilience for.
+func benchCheckpointSaveRestore(b *testing.B) {
+	dir, err := os.MkdirTemp("", "redbench-ckpt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := config.Default()
+	spec, err := workloads.ByLabel("LU")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := spec.Gen(cfg.CPU.Cores, workloads.Tiny, 1)
+	path := filepath.Join(dir, "bench.ckpt")
+	if _, err := sim.Run(cfg, hbm.ArchRedCache, tr, &sim.Options{
+		CkptPath: path, CkptPeriod: 20_000,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	man, payload, err := ckpt.LoadFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := ckpt.Encode(man, payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err = ckpt.Encode(man, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ckpt.Decode(data); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@
 //	       [-shards auto|N [-prof] [-proftrace t.json] [-profcsv p.csv]]
 //	       [-faults default -faultseed 1] [-invariants [-invperiod 10000]]
 //	       [-maxcycles N]
+//	       [-ckpt run.ckpt [-ckptperiod N] [-resume]]
 //	       [-telemetry out/ -epoch 100000 [-events]]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace run.trace]
 //
@@ -41,6 +42,19 @@
 // convert a corrupted or stuck simulation into a structured non-zero
 // exit instead of a hang.
 //
+// -ckpt names a checkpoint file.  With -ckptperiod N the run writes a
+// resumable snapshot of the complete machine state there every N
+// cycles; snapshots are taken at observationally free pause points, so
+// the checkpointed run's report is byte-identical to an uninterrupted
+// one.  -resume restores the run from that file instead of starting
+// fresh; the checkpoint's manifest (config hash, workload, arch,
+// seeds, fault spec, shard plan, telemetry cadence) must match the
+// flags given, and a damaged or mismatched checkpoint is rejected with
+// exit status 2 — never silently re-run.  A tripped watchdog or
+// invariant abort additionally writes a non-resumable diagnostic
+// snapshot to <ckpt>.final.  -prof cannot be combined with -ckptperiod
+// or -resume (the checkpoint pause points have no profiler hooks).
+//
 // -telemetry enables cycle-domain telemetry (internal/obs): probes are
 // sampled every -epoch cycles and written to <dir>/series.jsonl and
 // <dir>/series.csv; -events additionally records the structured event
@@ -51,10 +65,12 @@
 // `go tool trace`.
 //
 // Exit status: 0 on success, 1 on a runtime failure (including watchdog
-// and invariant aborts), 2 on a usage error.
+// and invariant aborts), 2 on a usage error or a rejected checkpoint
+// (truncated, corrupt, version-skewed, or mismatched with the flags).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -64,6 +80,7 @@ import (
 	rttrace "runtime/trace"
 	"time"
 
+	"redcache/internal/ckpt"
 	"redcache/internal/config"
 	"redcache/internal/hbm"
 	"redcache/internal/obs"
@@ -98,6 +115,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		invar     = fs.Bool("invariants", false, "run the online invariant checker every -invperiod cycles")
 		invPeriod = fs.Int64("invperiod", 10000, "invariant check period in CPU cycles (with -invariants)")
 		maxCycles = fs.Int64("maxcycles", 0, "abort via the cycle-budget watchdog past this many cycles (0 = no limit)")
+		ckptPath  = fs.String("ckpt", "", "checkpoint file (with -ckptperiod and/or -resume)")
+		ckptEvery = fs.Int64("ckptperiod", 0, "write a resumable snapshot to -ckpt every N cycles (0 = off)")
+		resume    = fs.Bool("resume", false, "restore the run from the checkpoint at -ckpt instead of starting fresh")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProf   = fs.String("memprofile", "", "write a post-run heap profile to this file")
 		execTr    = fs.String("trace", "", "write a runtime execution trace of the simulation to this file")
@@ -153,6 +173,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *profOn && shardWorkers == 0 {
 		return usage(fmt.Errorf("-prof requires -shards > 0 (there is no parallel schedule to profile on the serial engine)"))
 	}
+	if *ckptEvery < 0 {
+		return usage(fmt.Errorf("-ckptperiod must be non-negative, got %d", *ckptEvery))
+	}
+	if *ckptEvery > 0 && *ckptPath == "" {
+		return usage(fmt.Errorf("-ckptperiod requires -ckpt"))
+	}
+	if *resume && *ckptPath == "" {
+		return usage(fmt.Errorf("-resume requires -ckpt"))
+	}
+	if *profOn && (*ckptEvery > 0 || *resume) {
+		return usage(fmt.Errorf("-prof cannot be combined with -ckptperiod or -resume (checkpoint pause points have no profiler hooks)"))
+	}
 
 	tr := spec.Gen(cfg.CPU.Cores, sc, *seed)
 
@@ -183,6 +215,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Faults:       &fc,
 		MaxCycles:    *maxCycles,
 		ShardWorkers: shardWorkers,
+		CkptPath:     *ckptPath,
+		CkptPeriod:   *ckptEvery,
 	}
 	if *invar {
 		opts.InvariantCycles = *invPeriod
@@ -195,8 +229,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	start := time.Now() //redvet:wallclock — host-side progress timing, never feeds simulated state
-	res, err := sim.Run(cfg, hbm.Arch(*arch), tr, opts)
+	var res *sim.Result
+	if *resume {
+		res, err = sim.Resume(cfg, hbm.Arch(*arch), tr, opts, *ckptPath)
+	} else {
+		res, err = sim.Run(cfg, hbm.Arch(*arch), tr, opts)
+	}
 	if err != nil {
+		if ckptReject(err) {
+			fmt.Fprintln(stderr, "redsim:", err)
+			return 2
+		}
 		return fail(err)
 	}
 	wall := time.Since(start) //redvet:wallclock — host-side progress timing, never feeds simulated state
@@ -276,6 +319,14 @@ func report(w io.Writer, cfg *config.System, spec workloads.Spec, sc workloads.S
 		stats.Fmt(res.Ctl.LastWriteShare()))
 	fmt.Fprintf(w, "energy: HBM cache %.4f J, system %.4f J\n",
 		res.Energy.HBMCache(), res.Energy.System())
+}
+
+// ckptReject reports whether err is a structured checkpoint reject —
+// the classes a supervisor must treat as "do not retry this file"
+// rather than a transient runtime failure.
+func ckptReject(err error) bool {
+	return errors.Is(err, ckpt.ErrTruncated) || errors.Is(err, ckpt.ErrCorrupt) ||
+		errors.Is(err, ckpt.ErrVersion) || errors.Is(err, ckpt.ErrMismatch)
 }
 
 // parseShards maps the -shards spec to Options.ShardWorkers: "auto"

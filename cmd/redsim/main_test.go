@@ -40,6 +40,11 @@ func TestUsageErrorsExitTwo(t *testing.T) {
 		{"-events"}, // -events without -telemetry
 		{"-shards", "bogus"},
 		{"-shards", "-2"},
+		{"-ckptperiod", "-1"},
+		{"-ckptperiod", "1000"}, // -ckptperiod without -ckpt
+		{"-resume"},             // -resume without -ckpt
+		{"-shards", "2", "-prof", "-ckpt", "x", "-ckptperiod", "1000"},
+		{"-shards", "2", "-prof", "-ckpt", "x", "-resume"},
 	}
 	for _, args := range cases {
 		code, _, stderr := runCLI(args...)
@@ -145,6 +150,70 @@ func TestShardedCLIByteIdentity(t *testing.T) {
 		if code, first, _ := runCLI(append(base, "-shards", "4")...); code != 0 || stripWall(first) != stripWall(again) {
 			t.Errorf("repeated -shards 4 runs diverged (faults %v)", faults)
 		}
+	}
+}
+
+// TestCheckpointCLI drives the checkpoint surface end to end: a
+// checkpointed run reports the same bytes as a plain one, resuming
+// from its last snapshot reports the same bytes again, and damaged or
+// mismatched checkpoints exit 2 with a diagnostic.
+func TestCheckpointCLI(t *testing.T) {
+	base := []string{"-scale", "tiny", "-cores", "4"}
+	code, ref, stderr := runCLI(base...)
+	if code != 0 {
+		t.Fatalf("plain run: exit %d, stderr %q", code, stderr)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ckArgs := append(append([]string{}, base...), "-ckpt", path, "-ckptperiod", "10000")
+	code, ck, stderr := runCLI(ckArgs...)
+	if code != 0 {
+		t.Fatalf("checkpointed run: exit %d, stderr %q", code, stderr)
+	}
+	if stripWall(ck) != stripWall(ref) {
+		t.Errorf("-ckptperiod perturbed the report:\n--- plain ---\n%s\n--- checkpointed ---\n%s", ref, ck)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpointed run left no snapshot: %v", err)
+	}
+
+	resArgs := append(append([]string{}, base...), "-ckpt", path, "-resume")
+	code, res, stderr := runCLI(resArgs...)
+	if code != 0 {
+		t.Fatalf("resume: exit %d, stderr %q", code, stderr)
+	}
+	if stripWall(res) != stripWall(ref) {
+		t.Errorf("-resume diverged from the uninterrupted run:\n--- plain ---\n%s\n--- resumed ---\n%s", ref, res)
+	}
+
+	// Mismatched flags: same file, different fault spec.
+	code, _, stderr = runCLI(append(append([]string{}, resArgs...), "-faults", "default")...)
+	if code != 2 {
+		t.Errorf("mismatched resume: exit %d, want 2 (stderr %q)", code, stderr)
+	}
+
+	// Damaged file: flip one byte mid-payload.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runCLI(resArgs...)
+	if code != 2 {
+		t.Errorf("corrupt resume: exit %d, want 2 (stderr %q)", code, stderr)
+	}
+	if stderr == "" {
+		t.Error("corrupt resume printed no diagnostic")
+	}
+
+	// A missing checkpoint is a runtime failure (exit 1), not a reject:
+	// the caller may want to fall back to a fresh run.
+	code, _, _ = runCLI(append(append([]string{}, base...), "-ckpt", path+".nope", "-resume")...)
+	if code != 1 {
+		t.Errorf("missing checkpoint: exit %d, want 1", code)
 	}
 }
 

@@ -1,0 +1,106 @@
+package cache
+
+import (
+	"fmt"
+
+	"redcache/internal/ckpt"
+)
+
+const tagCache = 0x43414331 // "CAC1"
+
+// saveState serializes one cache line.
+func (l *line) saveState(w *ckpt.Writer) {
+	w.U64(l.tag)
+	w.Bool(l.valid)
+	w.Bool(l.dirty)
+	w.U64(l.used)
+}
+
+// loadState restores one cache line.
+func (l *line) loadState(r *ckpt.Reader) {
+	l.tag = r.U64()
+	l.valid = r.Bool()
+	l.dirty = r.Bool()
+	l.used = r.U64()
+}
+
+// SaveState serializes the cache: every line plus the LRU clock and
+// counters.  Geometry (set count, ways) is configuration; it is written
+// only to be verified at load.
+func (c *Cache) SaveState(w *ckpt.Writer) {
+	w.Tag(tagCache)
+	_ = c.setMask // geometry, derived from the set count below
+	w.Count(len(c.sets))
+	w.Int(c.ways)
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			c.sets[si][wi].saveState(w)
+		}
+	}
+	w.U64(c.tick)
+	c.Stats.SaveState(w)
+}
+
+// LoadState restores the cache into an identically shaped one.
+func (c *Cache) LoadState(r *ckpt.Reader) error {
+	r.Tag(tagCache)
+	_ = c.setMask // geometry, derived from the set count below
+	sets := r.Count(1 << 28)
+	ways := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if sets != len(c.sets) || ways != c.ways {
+		return fmt.Errorf("cache: checkpoint geometry %dx%d, machine wired %dx%d: %w",
+			sets, ways, len(c.sets), c.ways, ckpt.ErrCorrupt)
+	}
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			c.sets[si][wi].loadState(r)
+		}
+	}
+	c.tick = r.U64()
+	c.Stats.LoadState(r)
+	return r.Err()
+}
+
+// SaveState serializes the whole hierarchy: per-core L1s and L2s in
+// core order, then the shared L3.  Latencies and the writeback hook are
+// wiring, rebuilt by NewHierarchy.
+func (h *Hierarchy) SaveState(w *ckpt.Writer) {
+	_, _, _ = h.lat1, h.lat2, h.lat3 // configuration, not state
+	_ = h.Writeback                  // wiring, not state
+	w.Count(len(h.l1))
+	for i := range h.l1 {
+		h.l1[i].SaveState(w)
+	}
+	for i := range h.l2 {
+		h.l2[i].SaveState(w)
+	}
+	h.l3.SaveState(w)
+}
+
+// LoadState restores the hierarchy.
+func (h *Hierarchy) LoadState(r *ckpt.Reader) error {
+	_, _, _ = h.lat1, h.lat2, h.lat3 // configuration, not state
+	_ = h.Writeback                  // wiring, not state
+	n := r.Count(1 << 16)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != len(h.l1) {
+		return fmt.Errorf("cache: checkpoint has %d cores, machine wired %d: %w",
+			n, len(h.l1), ckpt.ErrCorrupt)
+	}
+	for i := range h.l1 {
+		if err := h.l1[i].LoadState(r); err != nil {
+			return err
+		}
+	}
+	for i := range h.l2 {
+		if err := h.l2[i].LoadState(r); err != nil {
+			return err
+		}
+	}
+	return h.l3.LoadState(r)
+}

@@ -6,6 +6,8 @@
 package cpu
 
 import (
+	"unsafe"
+
 	"redcache/internal/cache"
 	"redcache/internal/config"
 	"redcache/internal/engine"
@@ -20,6 +22,10 @@ type Submitter interface {
 }
 
 type slot struct {
+	// id is the slot's creation ordinal on its core — the stable
+	// checkpoint identity for the slot, its completion callback, and its
+	// embedded request.
+	id    int
 	done  int64
 	ready bool
 	// req is the embedded, reused demand-read request for misses served
@@ -102,6 +108,13 @@ type Core struct {
 	// tickFn is the core's single engine callback, created once so
 	// scheduling a step never allocates a closure.
 	tickFn func()
+
+	// slots indexes every slot ever created by id, and reg (when
+	// attached) assigns each new slot's callback and request a stable
+	// checkpoint key.  Both are save/load-path concerns; the hot paths
+	// only touch the rings and free list.
+	slots []*slot
+	reg   *engine.FnRegistry
 }
 
 // NewCore builds a core over the shared hierarchy and memory subsystem.
@@ -214,9 +227,16 @@ func (c *Core) getSlot() *slot {
 //redvet:coldstart — slot pool fill up to the architectural bound; binds the once-per-slot completion closure
 func (c *Core) newSlot() *slot {
 	s := new(slot)
+	s.id = len(c.slots)
 	s.doneFn = func(finish int64) {
 		s.done, s.ready = finish, true
 		c.kick()
+	}
+	c.slots = append(c.slots, s)
+	if c.reg != nil {
+		key := engine.Key(engine.KeyCPUSlot, uint32(c.id), uint32(s.id))
+		c.reg.RegisterTimed(key, s.doneFn)
+		c.reg.RegisterPtr(key, unsafe.Pointer(&s.req))
 	}
 	return s
 }

@@ -41,6 +41,19 @@ type Suite struct {
 	// InvariantCycles, when > 0, runs the online invariant checker at
 	// this period in every simulation.
 	InvariantCycles int64
+	// MaxCycles, when > 0, arms the cycle-budget watchdog on every run.
+	MaxCycles int64
+	// CkptDir, when set, runs every figure config under the checkpoint
+	// supervisor (see supervisor.go): runs snapshot their state there
+	// every CkptPeriod cycles, a config whose previous attempt died
+	// resumes from its last good snapshot, and failures retry up to
+	// Attempts times.  A damaged or mismatched checkpoint is a hard
+	// error, never a silent re-run.
+	CkptDir string
+	// CkptPeriod is the supervised snapshot cadence in cycles.
+	CkptPeriod int64
+	// Attempts bounds supervised retries per config (0 = default 3).
+	Attempts int
 
 	mu      sync.Mutex
 	traces  map[string]*trace.Trace
@@ -112,7 +125,12 @@ func (s *Suite) resultG(label string, arch hbm.Arch, gran int) (*sim.Result, err
 	}
 	cfg := *s.Sys // shallow copy; granularity differs per run
 	cfg.Granularity = gran
-	res, err := sim.Run(&cfg, arch, t, s.runOpts())
+	var res *sim.Result
+	if s.CkptDir != "" {
+		res, err = s.supervisedRun(label, arch, gran, &cfg, t)
+	} else {
+		res, err = sim.Run(&cfg, arch, t, s.runOpts())
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", label, arch, err)
 	}
@@ -132,14 +150,14 @@ func (s *Suite) resultG(label string, arch hbm.Arch, gran int) (*sim.Result, err
 	return res, nil
 }
 
-// runOpts builds the per-run options from the suite-wide fault and
-// invariant settings; nil when neither is set so the memoized figure
-// runs keep their exact fault-free fast path.
+// runOpts builds the per-run options from the suite-wide fault,
+// invariant, and watchdog settings; nil when none is set so the
+// memoized figure runs keep their exact fault-free fast path.
 func (s *Suite) runOpts() *sim.Options {
-	if s.Faults == nil && s.InvariantCycles <= 0 {
+	if s.Faults == nil && s.InvariantCycles <= 0 && s.MaxCycles <= 0 {
 		return nil
 	}
-	return &sim.Options{Faults: s.Faults, InvariantCycles: s.InvariantCycles}
+	return &sim.Options{Faults: s.Faults, InvariantCycles: s.InvariantCycles, MaxCycles: s.MaxCycles}
 }
 
 // runAll executes the given runs, bounded by s.Parallel workers, and

@@ -1,0 +1,86 @@
+package experiments
+
+// Run supervisor: crash-resilient execution of the memoized figure
+// runs.  With CkptDir set, every (workload, arch, granularity) config
+// simulates under checkpoint protection — the run snapshots its state
+// periodically, and a config whose previous attempt died (host crash,
+// OOM kill, watchdog abort) resumes from its last good snapshot
+// instead of starting over.  Retries are bounded, and a checkpoint
+// that fails integrity or manifest validation is a hard error — the
+// supervisor never silently discards one and re-runs from scratch,
+// because a damaged checkpoint means the previous attempt's provenance
+// is in question and the operator must decide.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"redcache/internal/ckpt"
+	"redcache/internal/config"
+	"redcache/internal/hbm"
+	"redcache/internal/sim"
+	"redcache/internal/trace"
+)
+
+// defaultAttempts bounds supervised retries when Suite.Attempts is 0.
+const defaultAttempts = 3
+
+// ckptName maps a run key to its checkpoint file name.
+func ckptName(label string, arch hbm.Arch, gran int) string {
+	return fmt.Sprintf("%s_%s_g%d.ckpt", label, arch, gran)
+}
+
+// isCkptReject reports whether err is a structured checkpoint reject:
+// truncated, corrupt, version-skewed, or mismatched with this config.
+func isCkptReject(err error) bool {
+	return errors.Is(err, ckpt.ErrTruncated) || errors.Is(err, ckpt.ErrCorrupt) ||
+		errors.Is(err, ckpt.ErrVersion) || errors.Is(err, ckpt.ErrMismatch)
+}
+
+// supervisedRun executes one config under the checkpoint supervisor.
+// Checkpointing is observationally free, so the Result is byte-for-byte
+// the one an unsupervised run produces.
+func (s *Suite) supervisedRun(label string, arch hbm.Arch, gran int,
+	cfg *config.System, t *trace.Trace) (*sim.Result, error) {
+	opts := s.runOpts()
+	if opts == nil {
+		opts = &sim.Options{}
+	}
+	opts.CkptPath = filepath.Join(s.CkptDir, ckptName(label, arch, gran))
+	opts.CkptPeriod = s.CkptPeriod
+
+	attempts := s.Attempts
+	if attempts < 1 {
+		attempts = defaultAttempts
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		var res *sim.Result
+		var err error
+		if _, statErr := os.Stat(opts.CkptPath); statErr == nil {
+			res, err = sim.Resume(cfg, arch, t, opts, opts.CkptPath)
+			if err != nil && isCkptReject(err) {
+				return nil, fmt.Errorf("%s/%s: checkpoint %s rejected, refusing to silently re-run: %w",
+					label, arch, opts.CkptPath, err)
+			}
+			if err == nil && s.Progress != nil {
+				s.Progress(fmt.Sprintf("resumed %s/%s from %s", label, arch, opts.CkptPath))
+			}
+		} else {
+			res, err = sim.Run(cfg, arch, t, opts)
+		}
+		if err == nil {
+			// The checkpoint marks an in-progress run; a completed config
+			// must not leave one behind for a later suite to resume.
+			_ = os.Remove(opts.CkptPath)
+			return res, nil
+		}
+		lastErr = err
+		if s.Progress != nil {
+			s.Progress(fmt.Sprintf("attempt %d/%d %s/%s failed: %v", attempt, attempts, label, arch, err))
+		}
+	}
+	return nil, fmt.Errorf("%s/%s: %d attempts exhausted: %w", label, arch, attempts, lastErr)
+}

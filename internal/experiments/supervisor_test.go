@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"redcache/internal/ckpt"
+	"redcache/internal/config"
+	"redcache/internal/hbm"
+	"redcache/internal/sim"
+)
+
+// supervisedSuite builds a tiny suite running under the checkpoint
+// supervisor, snapshotting into a fresh temp dir.
+func supervisedSuite(t *testing.T, period int64) *Suite {
+	t.Helper()
+	s := tinySuite()
+	s.CkptDir = t.TempDir()
+	s.CkptPeriod = period
+	return s
+}
+
+// seedCheckpoint leaves a genuine mid-run snapshot at the supervisor's
+// expected path for LU/RedCache, exactly as a killed previous attempt
+// would: a run with a snapshot cadence keeps its last periodic
+// checkpoint on disk (only the supervisor removes it, on success).
+func seedCheckpoint(t *testing.T, s *Suite, period int64, opts *sim.Options) string {
+	t.Helper()
+	tr, err := s.traceFor("LU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.CkptDir, ckptName("LU", hbm.ArchRedCache, s.Sys.Granularity))
+	if opts == nil {
+		opts = &sim.Options{}
+	}
+	opts.CkptPath = path
+	opts.CkptPeriod = period
+	cfg := *s.Sys
+	if _, err := sim.Run(&cfg, hbm.ArchRedCache, tr, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("seed run left no checkpoint: %v", err)
+	}
+	return path
+}
+
+// TestSupervisedRunMatchesPlain: the supervisor is observationally
+// free and cleans up its checkpoint after a successful config.
+func TestSupervisedRunMatchesPlain(t *testing.T) {
+	plain, err := tinySuite().Result("LU", hbm.ArchRedCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := supervisedSuite(t, plain.Cycles/4)
+	got, err := s.Result("LU", hbm.ArchRedCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, plain) {
+		t.Errorf("supervised result diverged from plain run:\ngot  %+v\nwant %+v", got, plain)
+	}
+	entries, err := os.ReadDir(s.CkptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("supervisor left %d files after success, want 0", len(entries))
+	}
+}
+
+// TestSupervisedResume: a checkpoint left by a dead previous attempt
+// is picked up, and the resumed result is identical to a fresh run's.
+func TestSupervisedResume(t *testing.T) {
+	plain, err := tinySuite().Result("LU", hbm.ArchRedCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := supervisedSuite(t, plain.Cycles/4)
+	path := seedCheckpoint(t, s, plain.Cycles/4, nil)
+
+	var progress []string
+	s.Progress = func(msg string) { progress = append(progress, msg) }
+	got, err := s.Result("LU", hbm.ArchRedCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := false
+	for _, msg := range progress {
+		if strings.HasPrefix(msg, "resumed LU/RedCache") {
+			resumed = true
+		}
+	}
+	if !resumed {
+		t.Errorf("supervisor re-ran from scratch instead of resuming; progress: %q", progress)
+	}
+	if !reflect.DeepEqual(got, plain) {
+		t.Errorf("resumed result diverged from plain run:\ngot  %+v\nwant %+v", got, plain)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("checkpoint not removed after successful resume: %v", err)
+	}
+}
+
+// TestSupervisedRejectsDamagedCheckpoint: integrity or manifest
+// failures are hard errors — the supervisor never silently re-runs.
+func TestSupervisedRejectsDamagedCheckpoint(t *testing.T) {
+	s := supervisedSuite(t, 20_000)
+	path := seedCheckpoint(t, s, 20_000, nil)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x04
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Result("LU", hbm.ArchRedCache)
+	if !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Fatalf("corrupt checkpoint: got %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "refusing to silently re-run") {
+		t.Errorf("error %q does not state the no-silent-re-run policy", err)
+	}
+}
+
+// TestSupervisedRejectsMismatchedCheckpoint: a snapshot from a
+// different configuration (here: fault injection on) must not resume
+// into this suite.
+func TestSupervisedRejectsMismatchedCheckpoint(t *testing.T) {
+	s := supervisedSuite(t, 20_000)
+	f := config.DefaultFaults()
+	f.Seed = 7
+	seedCheckpoint(t, s, 20_000, &sim.Options{Faults: &f})
+	_, err := s.Result("LU", hbm.ArchRedCache)
+	if !errors.Is(err, ckpt.ErrMismatch) {
+		t.Fatalf("mismatched checkpoint: got %v, want ErrMismatch", err)
+	}
+}
+
+// TestSupervisedAttemptsExhausted: a deterministic failure (watchdog)
+// burns the bounded attempts — resuming from the last snapshot each
+// time — and surfaces the underlying error.
+func TestSupervisedAttemptsExhausted(t *testing.T) {
+	s := supervisedSuite(t, 500)
+	s.MaxCycles = 2_000 // far too small for tiny LU: every attempt trips
+	s.Attempts = 2
+	fails := 0
+	s.Progress = func(msg string) {
+		if strings.Contains(msg, "failed:") {
+			fails++
+		}
+	}
+	_, err := s.Result("LU", hbm.ArchRedCache)
+	if err == nil {
+		t.Fatal("watchdog-doomed config succeeded")
+	}
+	if !strings.Contains(err.Error(), "2 attempts exhausted") {
+		t.Errorf("error %q does not report exhausted attempts", err)
+	}
+	if !strings.Contains(err.Error(), "watchdog") {
+		t.Errorf("error %q does not surface the underlying watchdog abort", err)
+	}
+	if fails != 2 {
+		t.Errorf("progress reported %d failed attempts, want 2", fails)
+	}
+}

@@ -18,11 +18,28 @@ import "redcache/internal/mem"
 //
 // The transfer granularity between DDR4 and HBM follows cfg.Granularity
 // (64/128/256 B, swept by Fig 2b); demand traffic to the CPU stays 64 B.
+//
+//redvet:shardlocal
 type alloy struct {
 	ctlBase
+	ops *opPool
 }
 
-func newAlloy(d deps) *alloy { return &alloy{ctlBase: newCtlBase(d)} }
+func newAlloy(d deps) *alloy {
+	c := &alloy{ctlBase: newCtlBase(d)}
+	c.ops = newOpPool(c.fireOp)
+	return c
+}
+
+// fireOp dispatches a pooled miss continuation (see op.go).
+func (c *alloy) fireOp(o *op, f int64) {
+	switch o.kind {
+	case opAlloyReadFill:
+		c.finishReadFill(o.req, o.addr, o.base, f)
+	case opAlloyWriteInstall:
+		c.installWrite(o.req, o.addr, o.base)
+	}
+}
 
 func (c *alloy) Name() Arch { return ArchAlloy }
 func (c *alloy) Drain()     {}
@@ -53,16 +70,22 @@ func (c *alloy) handleRead(req *mem.Request) {
 	// The TAD probe still occupies the HBM bus (and returns the victim).
 	c.d.hbm.Read(req.Addr, mem.BlockSize, nil)
 	base := c.frameBase(req.Addr.Align())
-	c.d.ddr.Read(base, g, func(f int64) {
-		req.Complete(f)
-		// Fill after the data arrives (posted).
-		c.s.Fills++
-		if e.valid {
-			c.retire(e, true)
-		}
-		c.install(e, req.Addr)
-		c.d.hbm.Write(base, g, nil)
-	})
+	c.d.ddr.Read(base, g, c.ops.get(opAlloyReadFill, req.Addr, base, false, req))
+}
+
+// finishReadFill completes a read-miss fill after the DDR4 data
+// arrives (posted).  The tag entry is positional: the store is
+// direct-mapped and never reallocates, so the entry the submit-time
+// probe returned is exactly addr's frame.
+func (c *alloy) finishReadFill(req *mem.Request, addr, base mem.Addr, f int64) {
+	req.Complete(f)
+	c.s.Fills++
+	e, _ := c.tags.lookup(addr)
+	if e.valid {
+		c.retire(e, true)
+	}
+	c.install(e, addr)
+	c.d.hbm.Write(base, c.tags.granularity(), nil)
 }
 
 func (c *alloy) handleWrite(req *mem.Request) {
@@ -82,21 +105,25 @@ func (c *alloy) handleWrite(req *mem.Request) {
 	// coarser granularity the remainder is fetched from DDR4 first.
 	g := c.tags.granularity()
 	base := c.frameBase(req.Addr.Align())
-	install := func(int64) {
-		c.s.Fills++
-		if e.valid {
-			c.retire(e, true)
-		}
-		c.install(e, req.Addr)
-		e.dirty = true
-		e.lastWrite = true
-		c.d.hbm.Write(base, g, req.TakeDone())
-	}
 	if g > mem.BlockSize {
-		c.d.ddr.Read(base, g, install)
+		c.d.ddr.Read(base, g, c.ops.get(opAlloyWriteInstall, req.Addr, base, false, req))
 	} else {
-		install(c.d.eng.Now())
+		c.installWrite(req, req.Addr, base)
 	}
+}
+
+// installWrite write-allocates addr's frame once any coarse-granularity
+// remainder has arrived from DDR4.
+func (c *alloy) installWrite(req *mem.Request, addr, base mem.Addr) {
+	c.s.Fills++
+	e, _ := c.tags.lookup(addr)
+	if e.valid {
+		c.retire(e, true)
+	}
+	c.install(e, addr)
+	e.dirty = true
+	e.lastWrite = true
+	c.d.hbm.Write(base, c.tags.granularity(), req.TakeDone())
 }
 
 //redvet:hotpath

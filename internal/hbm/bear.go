@@ -22,23 +22,43 @@ import (
 // affordable structure to prove a read absent.  The DCP filter is exact
 // in simulation (the functional tag store is available); real BEAR
 // tracks presence bits alongside L3 lines with small error.
+//
+//redvet:shardlocal
 type bear struct {
 	ctlBase
 	rng *rand.Rand
+	// draws counts Float64 calls on rng.  rand.Rand's internal state is
+	// opaque, so a checkpoint restore re-seeds and replays this many
+	// draws to land the stream on the same position.
+	draws uint64
 	// hitEWMA tracks recent demand hit rate in [0,1].
 	hitEWMA float64
 	// sampleCtr dedicates 1/32 of accesses to always-fill sampling so the
 	// monitor keeps observing the cache's potential.
 	sampleCtr uint64
+	ops       *opPool
 }
 
 const bearEWMAWeight = 0.002
 
+// bearSeedMix decorrelates the BAB sampler from every other consumer of
+// the run seed.
+const bearSeedMix = 0xbea7
+
 func newBear(d deps) *bear {
-	return &bear{
+	c := &bear{
 		ctlBase: newCtlBase(d),
-		rng:     rand.New(rand.NewSource(d.cfg.Seed ^ 0xbea7)),
+		rng:     rand.New(rand.NewSource(d.cfg.Seed ^ bearSeedMix)),
 		hitEWMA: 0.5,
+	}
+	c.ops = newOpPool(c.fireOp)
+	return c
+}
+
+// fireOp dispatches a pooled miss continuation (see op.go).
+func (c *bear) fireOp(o *op, f int64) {
+	if o.kind == opBearReadFill {
+		c.finishReadFill(o.req, o.addr, o.base, o.fill, f)
 	}
 }
 
@@ -68,6 +88,7 @@ func (c *bear) shouldFill() bool {
 		}
 	}
 	p := 0.1 + 0.9*c.hitEWMA
+	c.draws++
 	return c.rng.Float64() < p
 }
 
@@ -102,19 +123,24 @@ func (c *bear) handleRead(req *mem.Request) {
 	// The TAD probe still happens (it returned the victim's data).
 	c.d.hbm.Read(req.Addr, mem.BlockSize, nil)
 	fill := c.shouldFill()
-	c.d.ddr.Read(base, g, func(f int64) {
-		req.Complete(f)
-		if !fill {
-			c.s.FillBypass++
-			return
-		}
-		c.s.Fills++
-		if e.valid {
-			c.retire(e, true)
-		}
-		c.install(e, req.Addr)
-		c.d.hbm.Write(base, g, nil)
-	})
+	c.d.ddr.Read(base, g, c.ops.get(opBearReadFill, req.Addr, base, fill, req))
+}
+
+// finishReadFill completes a read miss: the BAB verdict was drawn at
+// submit time and travels with the op.
+func (c *bear) finishReadFill(req *mem.Request, addr, base mem.Addr, fill bool, f int64) {
+	req.Complete(f)
+	if !fill {
+		c.s.FillBypass++
+		return
+	}
+	c.s.Fills++
+	e, _ := c.tags.lookup(addr)
+	if e.valid {
+		c.retire(e, true)
+	}
+	c.install(e, addr)
+	c.d.hbm.Write(base, c.tags.granularity(), nil)
 }
 
 func (c *bear) handleWrite(req *mem.Request) {

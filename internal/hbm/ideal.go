@@ -7,12 +7,27 @@ import "redcache/internal/mem"
 // bandwidth: every request starts with a TAD read, and a write needs a
 // second HBM access after the bus turns around (Fig 7's premise that "a
 // single tag and data may be accessed per transfer").
+//
+//redvet:shardlocal
 type ideal struct {
-	d deps
-	s Stats
+	d   deps
+	s   Stats
+	ops *opPool
 }
 
-func newIdeal(d deps) *ideal { return &ideal{d: d} }
+func newIdeal(d deps) *ideal {
+	c := &ideal{d: d}
+	c.ops = newOpPool(c.fireOp)
+	return c
+}
+
+// fireOp dispatches a pooled continuation (see op.go): the write's
+// second HBM access after the tag-check read returns.
+func (c *ideal) fireOp(o *op, _ int64) {
+	if o.kind == opIdealWrite {
+		c.d.hbm.Write(o.addr, mem.BlockSize, o.req.TakeDone())
+	}
+}
 
 func (c *ideal) Name() Arch    { return ArchIdeal }
 func (c *ideal) Stats() *Stats { return &c.s }
@@ -24,9 +39,8 @@ func (c *ideal) Submit(req *mem.Request) {
 	if req.Type == mem.Write {
 		c.s.Writes++
 		// Tag-check read, then the data write.
-		c.d.hbm.Read(req.Addr, mem.BlockSize, func(int64) {
-			c.d.hbm.Write(req.Addr, mem.BlockSize, req.TakeDone())
-		})
+		c.d.hbm.Read(req.Addr, mem.BlockSize,
+			c.ops.get(opIdealWrite, req.Addr, req.Addr, false, req))
 		return
 	}
 	c.s.Reads++

@@ -41,11 +41,13 @@ type red struct {
 	regret     map[mem.Addr]struct{}
 	regretRing []mem.Addr
 	regretHead int
+	ops        *opPool
 }
 
 func newRed(d deps, f redFlags) *red {
 	c := &red{ctlBase: newCtlBase(d), f: f, gamma: d.cfg.Red.GammaInit,
 		regret: make(map[mem.Addr]struct{})}
+	c.ops = newOpPool(c.fireOp)
 	if f.alpha {
 		// α-count buffer misses ride the page walk the TLB miss performs
 		// anyway (§III-A-1's "virtually free ride"), so they cost buffer
@@ -315,16 +317,32 @@ func (c *red) handleRead(req *mem.Request) {
 		return
 	}
 	base := c.frameBase(req.Addr.Align())
-	c.d.ddr.Read(base, g, func(f int64) {
-		req.Complete(f)
-		c.s.Fills++
-		if e.valid {
-			c.dropFromRCU(e, c.tags.base(e))
-			c.retire(e, true) // dirty victims write back; clean replace silently
-		}
-		c.install(e, req.Addr)
-		c.d.hbm.Write(base, g, nil)
-	})
+	c.d.ddr.Read(base, g, c.ops.get(opRedReadFill, req.Addr, base, false, req))
+}
+
+// fireOp dispatches a pooled miss continuation (see op.go).
+func (c *red) fireOp(o *op, f int64) {
+	switch o.kind {
+	case opRedReadFill:
+		c.finishReadFill(o.req, o.addr, o.base, f)
+	case opRedWriteInstall:
+		c.installWrite(o.req, o.addr, o.base)
+	}
+}
+
+// finishReadFill completes a read-miss fill after the DDR4 data
+// arrives.  The tag entry is positional (direct-mapped store, never
+// reallocated), so it is recomputed from the address.
+func (c *red) finishReadFill(req *mem.Request, addr, base mem.Addr, f int64) {
+	req.Complete(f)
+	c.s.Fills++
+	e, _ := c.tags.lookup(addr)
+	if e.valid {
+		c.dropFromRCU(e, c.tags.base(e))
+		c.retire(e, true) // dirty victims write back; clean replace silently
+	}
+	c.install(e, addr)
+	c.d.hbm.Write(base, c.tags.granularity(), nil)
 }
 
 // keepDirtyVictim decides whether a miss should leave a dirty resident
@@ -389,22 +407,26 @@ func (c *red) handleWrite(req *mem.Request) {
 	// Write-allocate, evicting any old resident.
 	g := c.tags.granularity()
 	base := c.frameBase(req.Addr.Align())
-	install := func(int64) {
-		c.s.Fills++
-		if e.valid {
-			c.dropFromRCU(e, c.tags.base(e))
-			c.retire(e, true)
-		}
-		c.install(e, req.Addr)
-		e.dirty = true
-		e.lastWrite = true
-		c.d.hbm.Write(base, g, req.TakeDone())
-	}
 	if g > mem.BlockSize {
-		c.d.ddr.Read(base, g, install)
+		c.d.ddr.Read(base, g, c.ops.get(opRedWriteInstall, req.Addr, base, false, req))
 	} else {
-		install(c.d.eng.Now())
+		c.installWrite(req, req.Addr, base)
 	}
+}
+
+// installWrite write-allocates addr's frame, evicting any old resident,
+// once any coarse-granularity remainder has arrived from DDR4.
+func (c *red) installWrite(req *mem.Request, addr, base mem.Addr) {
+	c.s.Fills++
+	e, _ := c.tags.lookup(addr)
+	if e.valid {
+		c.dropFromRCU(e, c.tags.base(e))
+		c.retire(e, true)
+	}
+	c.install(e, addr)
+	e.dirty = true
+	e.lastWrite = true
+	c.d.hbm.Write(base, c.tags.granularity(), req.TakeDone())
 }
 
 // dropFromRCU removes any pending update for a departing frame so it

@@ -16,9 +16,9 @@ func registerCtlProbes(r *obs.Registry, s *Stats) {
 	r.Counter("ctl.direct_to_mem", func() int64 { return s.DirectToMem })
 	r.Counter("ctl.refresh_bypass", func() int64 { return s.RefreshByp })
 	r.Counter("ctl.sram_access", func() int64 { return s.SRAMAccess })
-	r.GaugeF("ctl.demand_hit_rate", obs.RatioOf(
+	r.Ratio("ctl.demand_hit_rate",
 		func() int64 { return s.Demand.Hits },
-		func() int64 { return s.Demand.Accesses() }))
+		func() int64 { return s.Demand.Accesses() })
 }
 
 // RegisterTelemetry is the default wire-up inherited by controllers
@@ -50,9 +50,9 @@ func (c *red) RegisterTelemetry(tel *obs.Telemetry) {
 	r := &tel.Reg
 	if c.f.alpha {
 		r.Gauge("red.alpha", func() int64 { return int64(c.at.Alpha()) })
-		r.GaugeF("red.alpha_buffer_hit_rate", obs.RatioOf(
+		r.Ratio("red.alpha_buffer_hit_rate",
 			func() int64 { return c.s.Alpha.BufferHits },
-			func() int64 { return c.s.Alpha.BufferHits + c.s.Alpha.BufferMiss }))
+			func() int64 { return c.s.Alpha.BufferHits + c.s.Alpha.BufferMiss })
 		r.Counter("red.bypassed", func() int64 { return c.s.Alpha.Bypassed })
 		r.Counter("red.admissions", func() int64 { return c.s.Alpha.Admissions })
 		r.Counter("red.alpha_adaptations", func() int64 { return c.s.Alpha.Adaptations })

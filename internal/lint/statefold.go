@@ -25,8 +25,12 @@ import (
 // a FoldStats that delegates to helpers — in the same package or
 // another — inherits their coverage.  Obligations, by contrast, are
 // strictly local: only functions whose name starts with a fold-family
-// prefix (fold, merge, snapshot, delta, reset) are required to be
-// exhaustive, and only over the bases they actually accumulate into.
+// prefix (fold, merge, snapshot, delta, reset, save, load) are required
+// to be exhaustive, and only over the bases they actually accumulate
+// into.  The save/load families extend the contract to the checkpoint
+// codec: SaveState's reads and LoadState's stores must each touch every
+// field of a checkpointed struct, so adding a field without updating
+// the codec fails the lint instead of silently corrupting restores.
 //
 // Two deliberate asymmetries keep the proof honest:
 //
@@ -40,9 +44,9 @@ import (
 // bases: `return Delta{Reads: ...}` must list every Delta field.
 var StateFold = &Analyzer{
 	Name: "statefold",
-	Doc: "proves fold/merge/snapshot/reset functions field-exhaustive over " +
-		"shard-local and stats structs, transitively via FoldCovers facts; " +
-		"dropped fields need //redvet:foldexempt with a justification",
+	Doc: "proves fold/merge/snapshot/reset and checkpoint save/load functions " +
+		"field-exhaustive over shard-local and stats structs, transitively via " +
+		"FoldCovers facts; dropped fields need //redvet:foldexempt with a justification",
 	Directive: "foldexempt",
 	Scope:     statefoldScope,
 	Facts:     statefoldFacts,
@@ -57,8 +61,11 @@ func statefoldScope(path string) bool {
 }
 
 // foldFamilies are the function-name prefixes that carry an
-// exhaustiveness obligation.
-var foldFamilies = []string{"fold", "merge", "snapshot", "delta", "reset"}
+// exhaustiveness obligation.  save/load cover the checkpoint codec
+// pairs (SaveState/LoadState): a field added to a checkpointed struct
+// without a matching serialize/deserialize line is the restore-time
+// twin of the dropped-fold bug.
+var foldFamilies = []string{"fold", "merge", "snapshot", "delta", "reset", "save", "load"}
 
 func foldFamily(name string) string {
 	l := strings.ToLower(name)
@@ -258,6 +265,12 @@ type foldScan struct {
 	poisoned map[types.Object]bool
 	bases    map[string]*foldBase // nil entries cache non-candidates
 	changed  bool
+	// readsObligate flips the obligation source for save-family
+	// functions: a serializer's field handling IS the read (w.I64(c.hits)),
+	// so chain reads obligate their base exactly as stores do elsewhere.
+	// The `_ = c.wiring` idiom marks fields that are deliberately rebuilt,
+	// not serialized — the read grants coverage like any other.
+	readsObligate bool
 }
 
 func newFoldScan(pass *Pass, decl *ast.FuncDecl) *foldScan {
@@ -266,14 +279,15 @@ func newFoldScan(pass *Pass, decl *ast.FuncDecl) *foldScan {
 		return nil
 	}
 	f := &foldScan{
-		pass:     pass,
-		facts:    pass.EnsureFacts(),
-		decl:     decl,
-		fn:       fn,
-		roots:    make(map[types.Object]bool),
-		aliases:  make(map[types.Object]foldRef),
-		poisoned: make(map[types.Object]bool),
-		bases:    make(map[string]*foldBase),
+		pass:          pass,
+		facts:         pass.EnsureFacts(),
+		decl:          decl,
+		fn:            fn,
+		roots:         make(map[types.Object]bool),
+		aliases:       make(map[types.Object]foldRef),
+		poisoned:      make(map[types.Object]bool),
+		bases:         make(map[string]*foldBase),
+		readsObligate: foldFamily(fn.Name()) == "save",
 	}
 	sig := fn.Type().(*types.Signature)
 	if r := sig.Recv(); r != nil {
@@ -528,9 +542,11 @@ func (f *foldScan) scan() {
 				}
 			case *ast.SelectorExpr:
 				// Every chain read grants coverage (the source side of a
-				// fold); obligations come only from stores above.
+				// fold); obligations come only from stores above — except
+				// in save-family functions, where serializing a field IS a
+				// read and every touched base must be exhaustive.
 				if r, p, ok := foldChain(f.pass.Info, n); ok && len(p) > 0 {
-					f.touch(r, p, false, n.Pos())
+					f.touch(r, p, f.readsObligate, n.Pos())
 				}
 			case *ast.ReturnStmt:
 				for _, e := range n.Results {

@@ -72,3 +72,52 @@ type ring struct {
 func mergeRing(dst, src *ring) { // want `merge-family function mergeRing drops field ring\.head of base dst`
 	dst.seen += src.seen
 }
+
+// sink and source stand in for the checkpoint Writer/Reader: methods
+// only, so they never become fold subjects themselves.
+type sink struct{ buf []int64 }
+
+func (w *sink) i64(v int64) { w.buf = append(w.buf, v) }
+
+type source struct {
+	buf []int64
+	off int
+}
+
+func (r *source) i64() int64 { v := r.buf[r.off]; r.off++; return v }
+
+// saveStateBad serializes Reads and Writes but drops Stalls: the
+// checkpoint is silently lossy, and the restore-time state diverges.
+// In save-family functions every chain READ obligates its base.
+func saveStateBad(w *sink, s *foldutil.Shadow) { // want `save-family function saveStateBad drops field Shadow\.Stalls of base s`
+	w.i64(s.Reads)
+	w.i64(s.Writes)
+}
+
+// saveStateGood serializes every non-exempt field.
+func saveStateGood(w *sink, s *foldutil.Shadow) {
+	w.i64(s.Reads)
+	w.i64(s.Writes)
+	w.i64(s.Stalls)
+}
+
+// saveRing uses the wiring-read idiom: head is rebuilt at restore, and
+// the deliberate `_ = s.head` read records that decision for the lint.
+func saveRing(w *sink, s *ring) {
+	_ = s.head
+	w.i64(s.seen)
+}
+
+// loadStateBad restores Reads and Writes but drops Stalls — the codec
+// pair decodes fewer fields than saveStateGood wrote.
+func loadStateBad(r *source, s *foldutil.Shadow) { // want `load-family function loadStateBad drops field Shadow\.Stalls of base s`
+	s.Reads = r.i64()
+	s.Writes = r.i64()
+}
+
+// loadStateGood stores every non-exempt field.
+func loadStateGood(r *source, s *foldutil.Shadow) {
+	s.Reads = r.i64()
+	s.Writes = r.i64()
+	s.Stalls = r.i64()
+}

@@ -1,0 +1,269 @@
+package obs
+
+// Checkpoint save/load for telemetry: counter-probe baselines, the
+// registry-owned derived-gauge baselines, the epoch series ring, and
+// the event-trace ring — everything a resumed run needs to keep its
+// telemetry CSV byte-identical to an uninterrupted one.
+
+import (
+	"fmt"
+
+	"redcache/internal/ckpt"
+	"redcache/internal/stats"
+)
+
+const tagObs = 0x4f425331 // "OBS1"
+
+// saveState serializes the registry's mutable state.  The probe set
+// itself is wiring: a deterministic wire-up reproduces names, kinds and
+// order, so only a count/name fingerprint is written for verification.
+func (r *Registry) saveState(w *ckpt.Writer) {
+	_, _ = r.index, r.sealed // wiring: rebuilt by registration + Start
+	w.Count(len(r.probes))
+	for i := range r.probes {
+		p := &r.probes[i]
+		_, _, _, _ = p.name, p.kind, p.readI, p.readF // wiring
+		w.String(p.name)
+		w.I64(p.prev)
+	}
+	w.Count(len(r.ifaceBase))
+	for _, b := range r.ifaceBase {
+		saveIface(w, &b.util)
+		w.I64(b.utilCycle)
+		saveIface(w, &b.row)
+	}
+	w.Count(len(r.cacheBase))
+	for _, b := range r.cacheBase {
+		b.prev.SaveState(w)
+	}
+	w.Count(len(r.ratioBase))
+	for _, b := range r.ratioBase {
+		w.I64(b.pn)
+		w.I64(b.pd)
+	}
+}
+
+// loadState restores the registry's mutable state into an identically
+// wired registry.
+func (r *Registry) loadState(rd *ckpt.Reader) error {
+	_, _ = r.index, r.sealed // wiring
+	n := rd.Count(1 << 20)
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if n != len(r.probes) {
+		return fmt.Errorf("obs: checkpoint has %d probes, machine wired %d: %w",
+			n, len(r.probes), ckpt.ErrCorrupt)
+	}
+	for i := range r.probes {
+		p := &r.probes[i]
+		_, _, _ = p.kind, p.readI, p.readF // wiring
+		name := rd.String()
+		if rd.Err() == nil && name != p.name {
+			return fmt.Errorf("obs: probe %d named %q, machine wired %q: %w",
+				i, name, p.name, ckpt.ErrCorrupt)
+		}
+		p.prev = rd.I64()
+	}
+	if err := loadBaselines(rd, r); err != nil {
+		return err
+	}
+	return rd.Err()
+}
+
+func loadBaselines(rd *ckpt.Reader, r *Registry) error {
+	n := rd.Count(1 << 20)
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if n != len(r.ifaceBase) {
+		return fmt.Errorf("obs: checkpoint has %d interface baselines, machine wired %d: %w",
+			n, len(r.ifaceBase), ckpt.ErrCorrupt)
+	}
+	for _, b := range r.ifaceBase {
+		loadIface(rd, &b.util)
+		b.utilCycle = rd.I64()
+		loadIface(rd, &b.row)
+	}
+	n = rd.Count(1 << 20)
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if n != len(r.cacheBase) {
+		return fmt.Errorf("obs: checkpoint has %d cache baselines, machine wired %d: %w",
+			n, len(r.cacheBase), ckpt.ErrCorrupt)
+	}
+	for _, b := range r.cacheBase {
+		b.prev.LoadState(rd)
+	}
+	n = rd.Count(1 << 20)
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if n != len(r.ratioBase) {
+		return fmt.Errorf("obs: checkpoint has %d ratio baselines, machine wired %d: %w",
+			n, len(r.ratioBase), ckpt.ErrCorrupt)
+	}
+	for _, b := range r.ratioBase {
+		b.pn = rd.I64()
+		b.pd = rd.I64()
+	}
+	return rd.Err()
+}
+
+// saveIface writes a snapshot value (Name is carried by the live
+// Interface, not the snapshot baseline).
+func saveIface(w *ckpt.Writer, i *stats.Interface) { i.SaveState(w) }
+
+func loadIface(rd *ckpt.Reader, i *stats.Interface) { i.LoadState(rd) }
+
+// saveState serializes the series ring.  Column names/kinds are wiring
+// (the sealed registry defines them); rows are stored oldest-first so a
+// load into a same-capacity ring is position-independent.
+func (s *Series) saveState(w *ckpt.Writer) {
+	_, _ = s.names, s.kinds // wiring: defined by the sealed registry
+	_ = s.cap               // configuration
+	w.Int(s.n)
+	w.I64(s.DroppedRows)
+	for row := 0; row < s.n; row++ {
+		pos := s.pos(row)
+		w.I64(s.cycles[pos])
+		for c := range s.cols {
+			if s.kinds[c] == gaugeFloat {
+				w.F64(s.cols[c].floats[pos])
+			} else {
+				w.I64(s.cols[c].ints[pos])
+			}
+		}
+	}
+	_ = s.head // implied by oldest-first storage; reset to 0 at load
+}
+
+// loadState restores the series ring.
+func (s *Series) loadState(rd *ckpt.Reader) error {
+	_, _ = s.names, s.kinds
+	_ = s.cap
+	n := rd.Int()
+	dropped := rd.I64()
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if n < 0 || n > s.cap {
+		return fmt.Errorf("obs: checkpoint has %d series rows, ring capacity %d: %w",
+			n, s.cap, ckpt.ErrCorrupt)
+	}
+	s.head = 0
+	s.n = n
+	s.DroppedRows = dropped
+	for row := 0; row < n; row++ {
+		s.cycles[row] = rd.I64()
+		for c := range s.cols {
+			if s.kinds[c] == gaugeFloat {
+				s.cols[c].floats[row] = rd.F64()
+			} else {
+				s.cols[c].ints[row] = rd.I64()
+			}
+		}
+	}
+	return rd.Err()
+}
+
+// saveState serializes the trace ring, events oldest-first.
+func (t *Tracer) saveState(w *ckpt.Writer) {
+	w.Bool(t != nil)
+	if t == nil {
+		return
+	}
+	_ = t.now // wiring: reattached by SetClock
+	w.Bool(t.Enabled)
+	w.Int(t.n)
+	w.I64(t.DroppedEvents)
+	for i := 0; i < t.n; i++ {
+		ev := t.At(i)
+		w.I64(ev.Cycle)
+		w.U8(uint8(ev.Kind))
+		w.U64(ev.Addr)
+		w.I64(ev.A)
+		w.I64(ev.B)
+	}
+	_ = t.head // implied by oldest-first storage; reset to 0 at load
+}
+
+// loadState restores the trace ring.
+func (t *Tracer) loadState(rd *ckpt.Reader) error {
+	present := rd.Bool()
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if present != (t != nil) {
+		return fmt.Errorf("obs: checkpoint tracer presence %v, machine wired %v: %w",
+			present, t != nil, ckpt.ErrCorrupt)
+	}
+	if t == nil {
+		return nil
+	}
+	_ = t.now // wiring
+	enabled := rd.Bool()
+	if rd.Err() == nil && enabled != t.Enabled {
+		return fmt.Errorf("obs: checkpoint tracer enabled=%v, machine wired %v: %w",
+			enabled, t.Enabled, ckpt.ErrCorrupt)
+	}
+	n := rd.Int()
+	dropped := rd.I64()
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if n < 0 || n > len(t.buf) {
+		return fmt.Errorf("obs: checkpoint has %d trace events, ring capacity %d: %w",
+			n, len(t.buf), ckpt.ErrCorrupt)
+	}
+	t.head = 0
+	t.n = n
+	t.DroppedEvents = dropped
+	for i := 0; i < n; i++ {
+		t.buf[i] = Event{
+			Cycle: rd.I64(),
+			Kind:  EventKind(rd.U8()),
+			Addr:  rd.U64(),
+			A:     rd.I64(),
+			B:     rd.I64(),
+		}
+	}
+	return rd.Err()
+}
+
+// SaveState serializes the whole telemetry subsystem.  Must be called
+// after Start (the sim checkpoints only running machines).
+func (t *Telemetry) SaveState(w *ckpt.Writer) {
+	_ = t.opt // configuration, pinned by the manifest
+	w.Tag(tagObs)
+	t.Reg.saveState(w)
+	w.Bool(t.ser != nil)
+	if t.ser != nil {
+		t.ser.saveState(w)
+	}
+	t.Tracer.saveState(w)
+}
+
+// LoadState restores the telemetry subsystem into a started machine.
+func (t *Telemetry) LoadState(rd *ckpt.Reader) error {
+	_ = t.opt // configuration
+	rd.Tag(tagObs)
+	if err := t.Reg.loadState(rd); err != nil {
+		return err
+	}
+	present := rd.Bool()
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if present != (t.ser != nil) {
+		return fmt.Errorf("obs: checkpoint series presence %v, machine wired %v: %w",
+			present, t.ser != nil, ckpt.ErrCorrupt)
+	}
+	if t.ser != nil {
+		if err := t.ser.loadState(rd); err != nil {
+			return err
+		}
+	}
+	return t.Tracer.loadState(rd)
+}

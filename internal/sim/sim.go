@@ -131,66 +131,136 @@ type Options struct {
 	// Result fields, telemetry, and invariant verdicts are byte-identical
 	// with or without it.
 	Profile *prof.Options
+	// CkptPath, when set, names the checkpoint file for this run.  With
+	// CkptPeriod > 0 the run snapshots its complete machine state there
+	// every period (atomically: temp file + rename), and a failed run
+	// (watchdog trip, invariant violation) writes a non-resumable
+	// diagnostic snapshot to CkptPath+".final".  Checkpoint pauses
+	// happen at observationally free points — between events on the
+	// serial engine, at window barriers on the sharded one — so a
+	// checkpointed run's Result, telemetry, and invariant verdicts are
+	// byte-identical to an uncheckpointed run's.
+	CkptPath string
+	// CkptPeriod is the snapshot cadence in cycles; 0 disables periodic
+	// snapshots (CkptPath then only receives diagnostic snapshots).
+	CkptPeriod int64
 }
 
-// Run simulates the trace on the given architecture and returns the
-// collected results.  Watchdog trips, invariant violations, and panics
-// inside the run loop surface as a structured *Error carrying the
-// engine state at the point of failure.
-func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (res *Result, err error) {
+// machine is one fully wired simulated system: the engine (and its
+// optional shard plan), both channel models, the DRAM-cache controller,
+// the CPU complex, and the observers.  Construction (buildMachine) is
+// separated from execution (complete) so a resumed run can overwrite
+// the freshly built state with a checkpoint before running.
+type machine struct {
+	cfg  *config.System
+	arch hbm.Arch
+	t    *trace.Trace
+	opts *Options
+
+	eng    *engine.Engine
+	reg    *engine.FnRegistry
+	res    *Result
+	hbmCtl *dram.Controller
+	ddrCtl *dram.Controller
+	ctl    hbm.Controller
+	inj    *fault.Injector
+	shd    *engine.Sharded
+	// shardWindow is the lookahead window of the sharded plan (0 when
+	// serial) — the checkpoint cadence must stay a full window clear of
+	// the watchdog budget, whose final window is clamped.
+	shardWindow int64
+	cx          *cpu.Complex
+	tel         *obs.Telemetry
+	invs        *invariantRunner
+}
+
+// validateRun checks the inputs shared by Run and Resume.
+func validateRun(cfg *config.System, t *trace.Trace, opts *Options) error {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if t.Cores() == 0 {
-		return nil, fmt.Errorf("sim: trace %q has no streams", t.Name)
+		return fmt.Errorf("sim: trace %q has no streams", t.Name)
 	}
 	if opts == nil {
-		opts = &Options{}
+		return nil
 	}
 	if opts.Faults != nil {
 		if err := opts.Faults.Validate(); err != nil {
-			return nil, err
+			return err
 		}
 	}
+	if opts.CkptPeriod > 0 && opts.CkptPath == "" {
+		return fmt.Errorf("sim: CkptPeriod requires CkptPath")
+	}
+	if opts.CkptPeriod < 0 {
+		return fmt.Errorf("sim: negative CkptPeriod %d", opts.CkptPeriod)
+	}
+	if opts.CkptPath != "" && opts.DDRObserver != nil {
+		return fmt.Errorf("sim: checkpointing cannot capture DDRObserver hook state; run without an observer")
+	}
+	if opts.CkptPeriod > 0 && opts.Profile != nil {
+		return fmt.Errorf("sim: checkpoint cadence and shard profiling are mutually exclusive")
+	}
+	return nil
+}
 
-	eng := engine.New()
-	defer func() {
-		if r := recover(); r != nil {
-			res, err = nil, asError(r, eng, t.Name, arch)
-		}
-	}()
-	res = &Result{Arch: arch, Workload: t.Name}
-	res.HBMIface.Name = "WideIO"
-	res.DDRIface.Name = "DDRx"
+// buildMachine wires a complete machine in the canonical order — the
+// order is part of the determinism contract (telemetry columns, shard
+// indices, fault streams) and of the checkpoint format (the callback
+// registry keys and the save/load stream both follow it).
+func buildMachine(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (*machine, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	m := &machine{cfg: cfg, arch: arch, t: t, opts: opts}
 
-	var hbmCtl *dram.Controller
+	m.eng = engine.New()
+	// The callback registry is always attached: registration happens at
+	// wire-up and slot/op creation (cold paths), costs the steady-state
+	// hot path nothing, and keeps checkpointed and plain runs on one
+	// code path.
+	m.reg = engine.NewFnRegistry()
+	m.eng.AttachRegistry(m.reg)
+
+	m.res = &Result{Arch: arch, Workload: t.Name}
+	m.res.HBMIface.Name = "WideIO"
+	m.res.DDRIface.Name = "DDRx"
+
 	if arch != hbm.ArchNoHBM {
-		hbmCtl = dram.NewController(eng, cfg.HBM, &res.HBMIface)
+		m.hbmCtl = dram.NewController(m.eng, cfg.HBM, &m.res.HBMIface)
+		m.hbmCtl.RegisterFns(m.reg, 0)
 	}
-	ddrCtl := dram.NewController(eng, cfg.MainMem, &res.DDRIface)
+	m.ddrCtl = dram.NewController(m.eng, cfg.MainMem, &m.res.DDRIface)
+	m.ddrCtl.RegisterFns(m.reg, 1)
 	if opts.DDRObserver != nil {
-		ddrCtl.SetObserver(opts.DDRObserver)
+		m.ddrCtl.SetObserver(opts.DDRObserver)
 	}
 
-	ctl, err := hbm.New(arch, eng, cfg, hbmCtl, ddrCtl)
+	ctl, err := hbm.New(arch, m.eng, cfg, m.hbmCtl, m.ddrCtl)
 	if err != nil {
 		return nil, err
 	}
+	m.ctl = ctl
+	if rf, ok := ctl.(interface {
+		RegisterFns(*engine.FnRegistry)
+	}); ok {
+		rf.RegisterFns(m.reg)
+	}
 
-	var inj *fault.Injector
 	if opts.Faults != nil {
 		// One injector is shared by the cache controller and both channel
 		// models: the engine is single-threaded, so the draw order — and
 		// with it the whole run — is a pure function of (seed, faultseed).
-		inj = fault.New(*opts.Faults)
+		m.inj = fault.New(*opts.Faults)
 	}
-	if inj != nil {
-		ddrCtl.SetFaultInjector(inj)
-		if hbmCtl != nil {
-			hbmCtl.SetFaultInjector(inj)
+	if m.inj != nil {
+		m.ddrCtl.SetFaultInjector(m.inj)
+		if m.hbmCtl != nil {
+			m.hbmCtl.SetFaultInjector(m.inj)
 		}
 		if fc, ok := ctl.(interface{ SetFaultInjector(*fault.Injector) }); ok {
-			fc.SetFaultInjector(inj)
+			fc.SetFaultInjector(m.inj)
 		}
 	}
 
@@ -201,7 +271,6 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (res 
 	// per-channel fault streams — are a pure function of the
 	// configuration.  The window is the tightest ShardWindow bound among
 	// the sharded devices.
-	var shd *engine.Sharded
 	var planStr string
 	if opts.ShardWorkers > 0 {
 		type placed struct {
@@ -214,7 +283,7 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (res 
 		for _, cand := range []struct {
 			ctl *dram.Controller
 			tm  config.DRAMTiming
-		}{{hbmCtl, cfg.HBM.Timing}, {ddrCtl, cfg.MainMem.Timing}} {
+		}{{m.hbmCtl, cfg.HBM.Timing}, {m.ddrCtl, cfg.MainMem.Timing}} {
 			if cand.ctl == nil || !cand.ctl.Shardable() {
 				continue
 			}
@@ -225,44 +294,47 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (res 
 			}
 		}
 		if extra > 0 {
-			shd = engine.NewSharded(eng, extra, window, opts.ShardWorkers)
-			defer shd.Close()
+			m.shd = engine.NewSharded(m.eng, extra, window, opts.ShardWorkers)
+			m.shardWindow = window
 			planStr = "shard0=cpu+uncore"
 			for _, p := range plan {
 				last := p.first + p.ctl.Channels() - 1
 				planStr += fmt.Sprintf("; %s=shards %d-%d", p.ctl.Name(), p.first, last)
-				p.ctl.SetSharding(shd, p.first)
+				p.ctl.SetSharding(m.shd, p.first)
 			}
 		}
 	}
 	if opts.Profile != nil {
-		if shd == nil {
+		if m.shd == nil {
 			return nil, fmt.Errorf("sim: profiling requires the sharded plan (ShardWorkers > 0 and at least one shardable channel)")
 		}
 		prf := prof.New(*opts.Profile)
 		prf.SetPlan(planStr)
-		shd.SetProfiler(prf)
-		res.Profile = prf
+		m.shd.SetProfiler(prf)
+		m.res.Profile = prf
 	}
 
-	cx := cpu.NewComplex(eng, cfg, t, submitFunc(func(req *mem.Request) { ctl.Submit(req) }))
+	m.cx = cpu.NewComplex(m.eng, cfg, t, submitFunc(func(req *mem.Request) { m.ctl.Submit(req) }))
+	m.cx.RegisterFns(m.reg)
 
-	var tel *obs.Telemetry
 	if opts.Telemetry != nil {
-		tel, err = obs.New(*opts.Telemetry)
+		tel, err := obs.New(*opts.Telemetry)
 		if err != nil {
+			m.close()
 			return nil, err
 		}
+		m.tel = tel
 		// Registration order fixes the exported column order, so it is
 		// part of the telemetry file format: engine, interfaces +
 		// channels, cache controller, CPU, L3.
-		tel.Tracer.SetClock(eng.Now)
-		if shd != nil {
+		tel.Tracer.SetClock(m.eng.Now)
+		if m.shd != nil {
 			// Cover shard boundaries in the cycle-domain event trace: one
 			// EvShardMerge per non-empty inbox ring, emitted on the
 			// coordinator in deterministic (dst, src) drain order — never
 			// from the parallel post itself, which would race on the ring.
 			trc := tel.Tracer
+			shd := m.shd
 			shd.SetMergeHook(func(dst, src, n int) {
 				trc.Emit(obs.EvShardMerge, uint64(dst), int64(src), int64(n))
 			})
@@ -272,115 +344,236 @@ func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (res 
 			tel.Reg.Counter("engine.events_fired", func() int64 { return int64(shd.TotalFired()) })
 			tel.Reg.Gauge("engine.pending", func() int64 { return int64(shd.TotalPending()) })
 		} else {
+			eng := m.eng
 			tel.Reg.Counter("engine.events_fired", func() int64 { return int64(eng.Fired) })
 			tel.Reg.Gauge("engine.pending", func() int64 { return int64(eng.Pending()) })
 		}
-		if hbmCtl != nil {
-			obs.RegisterInterface(&tel.Reg, "hbm", &res.HBMIface, eng.Now)
-			hbmCtl.RegisterProbes(&tel.Reg, "hbm")
+		if m.hbmCtl != nil {
+			obs.RegisterInterface(&tel.Reg, "hbm", &m.res.HBMIface, m.eng.Now)
+			m.hbmCtl.RegisterProbes(&tel.Reg, "hbm")
 		}
-		obs.RegisterInterface(&tel.Reg, "ddr", &res.DDRIface, eng.Now)
-		ddrCtl.RegisterProbes(&tel.Reg, "ddr")
-		ctl.RegisterTelemetry(tel)
-		cx.RegisterProbes(&tel.Reg)
-		obs.RegisterCache(&tel.Reg, "l3", cx.Hier.L3Stats())
+		obs.RegisterInterface(&tel.Reg, "ddr", &m.res.DDRIface, m.eng.Now)
+		m.ddrCtl.RegisterProbes(&tel.Reg, "ddr")
+		m.ctl.RegisterTelemetry(tel)
+		m.cx.RegisterProbes(&tel.Reg)
+		obs.RegisterCache(&tel.Reg, "l3", m.cx.Hier.L3Stats())
 		// Fault probes register last so fault-free telemetry keeps its
 		// exact column layout.
-		inj.RegisterProbes(&tel.Reg)
-		inj.SetTracer(tel.Tracer)
+		m.inj.RegisterProbes(&tel.Reg)
+		m.inj.SetTracer(tel.Tracer)
 		tel.Start()
-		eng.SchedulePeriodic(tel.EpochCycles(), tel.Sample)
+		m.eng.SchedulePeriodic(tel.EpochCycles(), tel.Sample)
 	}
 
-	var invs *invariantRunner
 	if opts.InvariantCycles > 0 {
-		heapCheck := eng.CheckHeap
-		if shd != nil {
-			heapCheck = shd.CheckHeaps
+		heapCheck := m.eng.CheckHeap
+		if m.shd != nil {
+			heapCheck = m.shd.CheckHeaps
 		}
-		invs = newInvariantRunner(heapCheck, hbmCtl, ddrCtl, ctl, &res.HBMIface, &res.DDRIface)
-		eng.SchedulePeriodic(opts.InvariantCycles, invs.tick)
+		m.invs = newInvariantRunner(heapCheck, m.hbmCtl, m.ddrCtl, m.ctl, &m.res.HBMIface, &m.res.DDRIface)
+		m.eng.SchedulePeriodic(opts.InvariantCycles, m.invs.tick)
 	}
 
-	cx.Start()
+	m.cx.Start()
 
 	if opts.MaxCycles > 0 {
 		// Also translate the cycle bound into a generous event bound:
 		// every component schedules O(1) events per cycle of useful work,
 		// so the event limit catches same-cycle scheduling loops the
 		// cycle deadline alone would never pass.
-		eng.Limit = uint64(opts.MaxCycles)
-		if shd != nil {
-			shd.SetLimit(uint64(opts.MaxCycles))
+		m.eng.Limit = uint64(opts.MaxCycles)
+		if m.shd != nil {
+			m.shd.SetLimit(uint64(opts.MaxCycles))
 		}
+	}
+	return m, nil
+}
+
+// close releases the machine's worker pool (idempotent, nil-safe).
+func (m *machine) close() {
+	if m.shd != nil {
+		m.shd.Close()
+	}
+}
+
+// complete executes the machine to completion — main run (with the
+// optional watchdog budget and checkpoint cadence), writeback drain,
+// telemetry finish, and result harvest.  Panics from the run loop
+// (watchdog, invariant violations, bugs) surface as a structured
+// *Error; failed runs additionally leave a diagnostic snapshot when a
+// checkpoint path is configured.
+func (m *machine) complete() (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, m.abort(r)
+		}
+	}()
+	if err := m.runLoop(); err != nil {
+		return nil, err
+	}
+	if m.cx.AllDoneAt < 0 {
+		return nil, &Error{Op: "deadlock", Workload: m.t.Name, Arch: m.arch,
+			Cycle: m.eng.Now(), Fired: m.eng.Fired, Pending: m.eng.Pending(),
+			Err: fmt.Errorf("event queue drained before all cores retired")}
+	}
+
+	m.ctl.Drain()
+	if m.shd != nil {
+		m.shd.Run() // let the drain traffic settle
+	} else {
+		m.eng.Run()
+	}
+
+	if m.tel != nil {
+		m.tel.Finish(m.eng.Now())
+		m.res.Telemetry = m.tel
+	}
+
+	m.res.Cycles = m.cx.AllDoneAt
+	m.res.Instructions = m.cx.Instructions()
+	m.res.EventsFired = m.eng.Fired
+	if m.shd != nil {
+		m.res.EventsFired = m.shd.TotalFired()
+	}
+	m.res.Ctl = *m.ctl.Stats()
+	m.res.L3 = *m.cx.Hier.L3Stats()
+	if m.inj != nil {
+		fs := *m.inj.Stats()
+		m.res.FaultStats = &fs
+	}
+	if m.invs != nil {
+		m.res.InvariantChecks = m.invs.sweeps
+	}
+
+	in := energy.Inputs{
+		Cycles:      m.res.Cycles,
+		DDR:         &m.res.DDRIface,
+		SRAMAccess:  m.res.Ctl.SRAMAccess,
+		InSituCount: m.res.Ctl.InSitu,
+	}
+	if m.arch != hbm.ArchNoHBM {
+		in.HBM = &m.res.HBMIface
+	}
+	m.res.Energy = energy.Compute(m.cfg, in)
+	return m.res, nil
+}
+
+// runLoop executes the main run: watchdog-bounded when MaxCycles is
+// set, snapshotting every CkptPeriod cycles when the checkpoint cadence
+// is on, and always finishing with an unbounded run so trailing
+// periodic ticks auto-stop at the same cycle as an unbounded run.
+func (m *machine) runLoop() error {
+	if m.opts.CkptPeriod > 0 {
+		return m.runCheckpointed()
+	}
+	if budget := m.opts.MaxCycles; budget > 0 {
 		// Cycle-exact watchdog.  The budget is enforced by the bounded
 		// run itself rather than a queued sentinel event: an event
 		// parked at the budget cycle would hold the queue open after the
-		// cores retire, dragging the clock (and the writeback drain
-		// below) to the budget cycle and perturbing interface counters.
+		// cores retire, dragging the clock (and the writeback drain) to
+		// the budget cycle and perturbing interface counters.
 		tripped := false
-		if shd != nil {
-			tripped = !shd.RunWithin(opts.MaxCycles)
+		if m.shd != nil {
+			tripped = !m.shd.RunWithin(budget)
 		} else {
-			tripped = !eng.RunWithin(opts.MaxCycles)
+			tripped = !m.eng.RunWithin(budget)
 		}
-		if tripped && cx.AllDoneAt < 0 {
-			panic(watchdogAbort{budget: opts.MaxCycles})
+		if tripped && m.cx.AllDoneAt < 0 {
+			panic(watchdogAbort{budget: budget})
 		}
 		// Cores retired within budget; anything still queued past the
 		// deadline is a periodic tick about to auto-stop, and letting it
 		// fire keeps the clock identical to an unbounded run.
 	}
-	if shd != nil {
-		shd.Run()
+	if m.shd != nil {
+		m.shd.Run()
 	} else {
-		eng.Run()
+		m.eng.Run()
 	}
-	if cx.AllDoneAt < 0 {
-		return nil, &Error{Op: "deadlock", Workload: t.Name, Arch: arch,
-			Cycle: eng.Now(), Fired: eng.Fired, Pending: eng.Pending(),
-			Err: fmt.Errorf("event queue drained before all cores retired")}
-	}
+	return nil
+}
 
-	ctl.Drain()
-	if shd != nil {
-		shd.Run() // let the drain traffic settle
+// runCheckpointed is runLoop with the snapshot cadence: run to the next
+// checkpoint cycle, snapshot, repeat.  The pause points are
+// observationally free — RunWithin leaves the serial heap untouched
+// between events, and RunWindows pauses only at window barriers without
+// ever clamping a window — so the event order is byte-identical to an
+// uninterrupted run.  The watchdog budget keeps its exact plain-path
+// semantics: once the next checkpoint would land within one lookahead
+// window of the budget (whose final window IS clamped by RunWithin),
+// the cadence stops and the budget-bounded run takes over.
+func (m *machine) runCheckpointed() error {
+	budget := m.opts.MaxCycles
+	period := m.opts.CkptPeriod
+	next := m.eng.Now() + period
+	for {
+		atBudget := budget > 0 && next >= budget
+		if budget > 0 && m.shd != nil && next > budget-m.shardWindow {
+			atBudget = true
+		}
+		if atBudget {
+			tripped := false
+			if m.shd != nil {
+				tripped = !m.shd.RunWithin(budget)
+			} else {
+				tripped = !m.eng.RunWithin(budget)
+			}
+			if tripped && m.cx.AllDoneAt < 0 {
+				panic(watchdogAbort{budget: budget})
+			}
+			break
+		}
+		var drained bool
+		if m.shd != nil {
+			drained = m.shd.RunWindows(next)
+		} else {
+			drained = m.eng.RunWithin(next)
+		}
+		if drained {
+			break
+		}
+		if err := m.checkpoint(""); err != nil {
+			return err
+		}
+		next += period
+	}
+	if m.shd != nil {
+		m.shd.Run()
 	} else {
-		eng.Run()
+		m.eng.Run()
 	}
+	return nil
+}
 
-	if tel != nil {
-		tel.Finish(eng.Now())
-		res.Telemetry = tel
+// abort converts a recovered panic into the structured *Error and, for
+// guard trips with a configured checkpoint path, writes a best-effort
+// diagnostic snapshot (non-resumable: its manifest carries the abort
+// op) for post-mortem inspection.
+func (m *machine) abort(r any) *Error {
+	e := asError(r, m.eng, m.t.Name, m.arch)
+	if m.opts.CkptPath != "" && (e.Op == "watchdog" || e.Op == "invariant") {
+		// Best effort: the state that tripped an invariant is corrupt by
+		// definition, and a mid-window abort cannot serialize the shard
+		// plan — failures here must not mask the primary error.
+		_ = m.checkpoint(e.Op)
 	}
+	return e
+}
 
-	res.Cycles = cx.AllDoneAt
-	res.Instructions = cx.Instructions()
-	res.EventsFired = eng.Fired
-	if shd != nil {
-		res.EventsFired = shd.TotalFired()
+// Run simulates the trace on the given architecture and returns the
+// collected results.  Watchdog trips, invariant violations, and panics
+// inside the run loop surface as a structured *Error carrying the
+// engine state at the point of failure.
+func Run(cfg *config.System, arch hbm.Arch, t *trace.Trace, opts *Options) (*Result, error) {
+	if err := validateRun(cfg, t, opts); err != nil {
+		return nil, err
 	}
-	res.Ctl = *ctl.Stats()
-	res.L3 = *cx.Hier.L3Stats()
-	if inj != nil {
-		fs := *inj.Stats()
-		res.FaultStats = &fs
+	m, err := buildMachine(cfg, arch, t, opts)
+	if err != nil {
+		return nil, err
 	}
-	if invs != nil {
-		res.InvariantChecks = invs.sweeps
-	}
-
-	in := energy.Inputs{
-		Cycles:      res.Cycles,
-		DDR:         &res.DDRIface,
-		SRAMAccess:  res.Ctl.SRAMAccess,
-		InSituCount: res.Ctl.InSitu,
-	}
-	if arch != hbm.ArchNoHBM {
-		in.HBM = &res.HBMIface
-	}
-	res.Energy = energy.Compute(cfg, in)
-	return res, nil
+	defer m.close()
+	return m.complete()
 }
 
 // submitFunc adapts a function to cpu.Submitter.
